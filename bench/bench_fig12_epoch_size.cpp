@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figure 12: performance sensitivity to epoch size (h = 2048 vs 16384,
+ * the paper's 8K vs 64K scaled) for butterfly monitoring.
+ *
+ * Expected shape: larger epochs amortize the per-epoch fixed costs
+ * (barriers after each pass, SOS update) and are faster — except where
+ * the extra false positives are expensive enough to offset the savings,
+ * which the paper observed for OCEAN at two and four threads.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+
+namespace bfly {
+namespace {
+
+void
+BM_Fig12(benchmark::State &state, const std::string &name,
+         WorkloadFactory factory, unsigned threads, std::size_t epoch)
+{
+    for (auto _ : state) {
+        const SessionResult &r =
+            bench::cachedSession(name, factory, threads, epoch);
+        state.counters["butterfly"] = r.perf.butterfly.normalized;
+        state.counters["epochs"] = static_cast<double>(r.epochs);
+        state.counters["barrier_wait"] = static_cast<double>(
+            r.perf.butterfly.timing.barrierWaitCycles);
+    }
+}
+
+void
+printFigure12()
+{
+    std::printf("\n=== Figure 12: butterfly performance vs epoch size "
+                "===\n");
+    std::printf("%-14s %3s  %14s %14s  %s\n", "benchmark", "T",
+                "h=2048 (8K)", "h=16384 (64K)", "larger-epoch effect");
+    for (const auto &[name, factory] : paperWorkloads()) {
+        for (unsigned threads : bench::kThreadCounts) {
+            const SessionResult &small = bench::cachedSession(
+                name, factory, threads, bench::kSmallEpoch);
+            const SessionResult &large = bench::cachedSession(
+                name, factory, threads, bench::kLargeEpoch);
+            const double s = small.perf.butterfly.normalized;
+            const double l = large.perf.butterfly.normalized;
+            std::printf("%-14s %3u  %14.2f %14.2f  %s\n", name.c_str(),
+                        threads, s, l,
+                        l < s ? "faster (amortized overheads)"
+                              : "slower (false-positive cost)");
+        }
+    }
+    std::printf("\n");
+}
+
+} // namespace
+} // namespace bfly
+
+int
+main(int argc, char **argv)
+{
+    using namespace bfly;
+    for (const auto &[name, factory] : paperWorkloads()) {
+        for (unsigned threads : bench::kThreadCounts) {
+            for (std::size_t epoch :
+                 {bench::kSmallEpoch, bench::kLargeEpoch}) {
+                benchmark::RegisterBenchmark(
+                    ("fig12/" + name + "/threads:" +
+                     std::to_string(threads) + "/h:" +
+                     std::to_string(epoch))
+                        .c_str(),
+                    [name = name, factory = factory, threads,
+                     epoch](benchmark::State &s) {
+                        BM_Fig12(s, name, factory, threads, epoch);
+                    })
+                    ->Iterations(1)
+                    ->Unit(benchmark::kMillisecond);
+            }
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    bfly::printFigure12();
+    return 0;
+}

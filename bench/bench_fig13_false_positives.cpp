@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 13: precision sensitivity to epoch size — false positives as a
+ * percentage of memory accesses (log scale in the paper), h = 2048 vs
+ * 16384 (the paper's 8K vs 64K, scaled).
+ *
+ * Expected shape: false negatives are zero everywhere (checked); false
+ * positives grow with epoch size; FFT/FMM/LU barely move while others
+ * jump by an order of magnitude or more, with OCEAN the outlier whose
+ * FP rate at the large epoch is highest (the same behaviour that costs
+ * it performance in Figure 12).
+ *
+ * Absolute rates are higher than the paper's (<0.01%) because our runs
+ * are ~1000x shorter relative to phase lengths; see EXPERIMENTS.md.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+
+namespace bfly {
+namespace {
+
+void
+BM_Fig13(benchmark::State &state, const std::string &name,
+         WorkloadFactory factory, unsigned threads, std::size_t epoch)
+{
+    for (auto _ : state) {
+        const SessionResult &r =
+            bench::cachedSession(name, factory, threads, epoch);
+        state.counters["fp_pct_of_accesses"] =
+            100.0 * r.falsePositiveRate;
+        state.counters["false_pos"] =
+            static_cast<double>(r.accuracy.falsePositives);
+        state.counters["false_neg"] =
+            static_cast<double>(r.accuracy.falseNegatives);
+        state.counters["mem_accesses"] =
+            static_cast<double>(r.memoryAccesses);
+    }
+}
+
+void
+printFigure13()
+{
+    std::printf("\n=== Figure 13: false positives as %% of memory "
+                "accesses ===\n");
+    std::printf("%-14s %3s  %14s %14s %8s\n", "benchmark", "T",
+                "h=2048 (8K)", "h=16384 (64K)", "FN");
+    for (const auto &[name, factory] : paperWorkloads()) {
+        for (unsigned threads : bench::kThreadCounts) {
+            const SessionResult &small = bench::cachedSession(
+                name, factory, threads, bench::kSmallEpoch);
+            const SessionResult &large = bench::cachedSession(
+                name, factory, threads, bench::kLargeEpoch);
+            std::printf(
+                "%-14s %3u  %13.5f%% %13.5f%% %8zu\n", name.c_str(),
+                threads, 100.0 * small.falsePositiveRate,
+                100.0 * large.falsePositiveRate,
+                small.accuracy.falseNegatives +
+                    large.accuracy.falseNegatives);
+        }
+    }
+    std::printf("(false negatives are provably zero: the FN column must "
+                "read 0)\n\n");
+}
+
+} // namespace
+} // namespace bfly
+
+int
+main(int argc, char **argv)
+{
+    using namespace bfly;
+    for (const auto &[name, factory] : paperWorkloads()) {
+        for (unsigned threads : bench::kThreadCounts) {
+            for (std::size_t epoch :
+                 {bench::kSmallEpoch, bench::kLargeEpoch}) {
+                benchmark::RegisterBenchmark(
+                    ("fig13/" + name + "/threads:" +
+                     std::to_string(threads) + "/h:" +
+                     std::to_string(epoch))
+                        .c_str(),
+                    [name = name, factory = factory, threads,
+                     epoch](benchmark::State &s) {
+                        BM_Fig13(s, name, factory, threads, epoch);
+                    })
+                    ->Iterations(1)
+                    ->Unit(benchmark::kMillisecond);
+            }
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    bfly::printFigure13();
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Table 1: simulator and benchmark parameters.
+ *
+ * Prints the simulated machine configuration in the paper's layout and
+ * validates it with microbenchmarks: each cache level's access latency
+ * must match Table 1 (L1-D 2 cycles, L2 +6, memory +90), and the L2 must
+ * scale with core count (4 cores - 2 MB, 8 - 4 MB, 16 - 8 MB).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+#include "sim/cmp.hpp"
+
+namespace bfly {
+namespace {
+
+void
+printTable1()
+{
+    std::printf("\n=== Table 1: Simulator and Benchmark Parameters ===\n");
+    std::printf("%-12s %s\n", "Cores", "{4,8,16} cores");
+    std::printf("%-12s %s\n", "Pipeline", "in-order scalar, 1 cycle/instr");
+    const CmpConfig cfg = CmpConfig::forCores(8);
+    std::printf("%-12s %uB\n", "Line size", cfg.l1d.lineBytes);
+    std::printf("%-12s %zuKB, %u-way set-assoc, %llu cycle latency\n",
+                "L1-D", cfg.l1d.sizeBytes / 1024, cfg.l1d.assoc,
+                static_cast<unsigned long long>(cfg.l1d.latency));
+    for (unsigned cores : {4u, 8u, 16u}) {
+        const CmpConfig c = CmpConfig::forCores(cores);
+        std::printf("%-12s %zuMB, %u-way set-assoc, %u banks, "
+                    "%llu cycle latency (at %u cores)\n",
+                    "L2", c.l2.sizeBytes / (1024 * 1024), c.l2.assoc,
+                    c.l2Banks,
+                    static_cast<unsigned long long>(c.l2.latency), cores);
+    }
+    std::printf("%-12s %llu cycle latency\n", "Memory",
+                static_cast<unsigned long long>(cfg.memLatency));
+    std::printf("%-12s 8KB\n", "Log buffer");
+    std::printf("%-12s barnes fft fmm ocean blackscholes lu "
+                "(synthetic kernels, see DESIGN.md)\n\n",
+                "Workloads");
+}
+
+void
+BM_L1HitLatency(benchmark::State &state)
+{
+    Cmp cmp(CmpConfig::forCores(4));
+    cmp.access(0, 0x1000, false); // warm the line
+    Cycles total = 0;
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        total += cmp.access(0, 0x1000, false);
+        ++n;
+    }
+    state.counters["cycles/access"] =
+        static_cast<double>(total) / static_cast<double>(n);
+}
+BENCHMARK(BM_L1HitLatency);
+
+void
+BM_L2HitLatency(benchmark::State &state)
+{
+    Cmp cmp(CmpConfig::forCores(4));
+    Cycles total = 0;
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        cmp.access(1, 0x2000, true); // core 1 owns it; core 0 misses L1
+        state.ResumeTiming();
+        total += cmp.access(0, 0x2000, false);
+        cmp.access(0, 0x2000, true); // force core0 invalidation next round
+        state.PauseTiming();
+        cmp.access(1, 0x2000, true);
+        state.ResumeTiming();
+        ++n;
+    }
+    state.counters["cycles/access"] =
+        static_cast<double>(total) / static_cast<double>(n);
+}
+BENCHMARK(BM_L2HitLatency);
+
+void
+BM_MemoryLatency(benchmark::State &state)
+{
+    Cmp cmp(CmpConfig::forCores(4));
+    Cycles total = 0;
+    std::uint64_t n = 0;
+    Addr a = 0;
+    for (auto _ : state) {
+        a += 64 * 1024 * 1024; // never-touched line: full miss path
+        total += cmp.access(0, a, false);
+        ++n;
+    }
+    state.counters["cycles/access"] =
+        static_cast<double>(total) / static_cast<double>(n);
+}
+BENCHMARK(BM_MemoryLatency);
+
+void
+BM_SimulatorThroughput(benchmark::State &state)
+{
+    // Events simulated per second by the CMP model (capacity planning
+    // for the figure benchmarks).
+    Cmp cmp(CmpConfig::forCores(8));
+    Rng rng(1);
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        cmp.access(static_cast<unsigned>(n % 8),
+                   0x10000 + 8 * rng.below(1 << 16), (n & 1) != 0);
+        ++n;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+} // namespace
+} // namespace bfly
+
+int
+main(int argc, char **argv)
+{
+    bfly::printTable1();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * TAINTCHECK precision study (paper Sections 4.4 / 6.2).
+ *
+ * Quantifies the paper's core precision statement for TAINTCHECK — the
+ * analysis "sacrifices precision only due to the lack of a relative
+ * ordering among recent events" — on a racy shared-variable workload:
+ *
+ *  - false negatives are zero under both Check termination conditions
+ *    (Theorem 6.2), at every epoch size;
+ *  - false positives rise with epoch size while the window is smaller
+ *    than the workload's sharing correlation length (a barrier round),
+ *    then plateau: beyond that, every racy inheritance is already
+ *    potentially concurrent, and the flags are exactly the uses that
+ *    *some* valid ordering taints — unavoidable without ordering info;
+ *  - the sequential-consistency termination condition prunes
+ *    program-order-impossible chains (see taintcheck_demo and the unit
+ *    tests for the Figure 2 pattern); at workload scale its totals
+ *    coincide with the relaxed variant's because the two-phase roots
+ *    required for soundness (Lemma 6.3) are termination-agnostic.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.hpp"
+#include "butterfly/window.hpp"
+#include "lifeguards/taintcheck.hpp"
+#include "memmodel/interleaver.hpp"
+
+namespace bfly {
+namespace {
+
+struct TaintResult
+{
+    std::size_t uses = 0;
+    std::size_t truePos = 0;
+    std::size_t fpSc = 0;
+    std::size_t fpRelaxed = 0;
+    std::size_t fn = 0;
+};
+
+TaintResult
+runOne(std::size_t epoch, std::uint64_t seed)
+{
+    WorkloadConfig wcfg;
+    wcfg.numThreads = 4;
+    wcfg.instrPerThread = 40000;
+    wcfg.seed = seed;
+    const Workload w = makeTaintMix(wcfg);
+
+    Rng rng(seed * 101 + 9);
+    Trace trace = interleave(w.programs, InterleaveConfig{}, rng);
+    EpochLayout layout =
+        EpochLayout::byGlobalSeq(trace, epoch * wcfg.numThreads);
+
+    TaintCheckConfig cfg;
+    cfg.granularity = 8;
+
+    TaintCheckOracle oracle(cfg);
+    oracle.runOnTrace(trace);
+
+    TaintResult result;
+    for (const auto &tt : trace.threads)
+        for (const Event &e : tt.events)
+            result.uses += e.kind == EventKind::Use;
+    result.truePos = oracle.errors().size();
+
+    auto fp_of = [&](TaintTermination term, std::size_t *fn) {
+        ButterflyTaintCheck butterfly(layout, cfg, term);
+        WindowSchedule().run(layout, butterfly);
+        std::size_t fp = 0;
+        for (const auto &rec : butterfly.errors().records()) {
+            if (!oracle.errors().flagged(rec.tid, rec.index))
+                ++fp;
+        }
+        if (fn) {
+            for (const auto &rec : oracle.errors().records()) {
+                if (!butterfly.errors().flagged(rec.tid, rec.index))
+                    ++*fn;
+            }
+        }
+        return fp;
+    };
+
+    result.fpSc =
+        fp_of(TaintTermination::SequentialConsistency, &result.fn);
+    result.fpRelaxed = fp_of(TaintTermination::Relaxed, &result.fn);
+    return result;
+}
+
+constexpr std::size_t kEpochs[] = {8, 16, 32, 64, 192, 768};
+
+void
+BM_TaintPrecision(benchmark::State &state)
+{
+    const std::size_t epoch = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        const TaintResult r = runOne(epoch, 1);
+        state.counters["fp_sc"] = static_cast<double>(r.fpSc);
+        state.counters["fp_relaxed"] =
+            static_cast<double>(r.fpRelaxed);
+        state.counters["false_neg"] = static_cast<double>(r.fn);
+    }
+}
+BENCHMARK(BM_TaintPrecision)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(768)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void
+printSummary()
+{
+    std::printf("\n=== TAINTCHECK precision vs epoch size ===\n");
+    std::printf("%8s %8s %10s %10s %14s %8s\n", "h", "uses",
+                "oracle-TP", "FP (SC)", "FP (relaxed)", "FN");
+    for (const std::size_t epoch : kEpochs) {
+        const TaintResult r = runOne(epoch, 1);
+        std::printf("%8zu %8zu %10zu %10zu %14zu %8zu\n", epoch,
+                    r.uses, r.truePos, r.fpSc, r.fpRelaxed, r.fn);
+    }
+    std::printf(
+        "FP grows with the epoch until the window covers the "
+        "workload's sharing\ncorrelation length, then plateaus at the "
+        "set of uses some valid ordering\ntaints — the precision cost "
+        "of having no inter-thread ordering, and nothing\nmore. False "
+        "negatives are zero everywhere.\n\n");
+}
+
+} // namespace
+} // namespace bfly
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    bfly::printSummary();
+    return 0;
+}

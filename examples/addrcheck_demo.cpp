@@ -1,0 +1,106 @@
+/**
+ * @file
+ * ADDRCHECK demo: the paper's Figure 9 scenarios, run for real.
+ *
+ * Recreates the two interleavings Figure 9 contrasts:
+ *   - thread 1 allocates `a` while thread 2 accesses it in an adjacent
+ *     epoch: *potentially concurrent*, flagged (a false positive if the
+ *     actual order was safe — the price of not tracking inter-thread
+ *     dependences);
+ *   - thread 3 allocates `b` in isolation and uses it itself: safe,
+ *     not flagged, even though the allocation is not yet in the SOS.
+ *
+ * Then shows the epoch-distance rule: once an allocation is two epochs
+ * old it enters the Strongly Ordered State and any thread may touch it
+ * silently.
+ *
+ * Build & run:  ./build/examples/addrcheck_demo
+ */
+
+#include <cstdio>
+
+#include "butterfly/window.hpp"
+#include "lifeguards/addrcheck.hpp"
+#include "lifeguards/addrcheck_oracle.hpp"
+#include "tests/helpers.hpp" // traceOf: embedded-heartbeat trace builder
+
+namespace {
+
+void
+runScenario(const char *title, bfly::Trace trace,
+            const bfly::AddrCheckConfig &cfg)
+{
+    using namespace bfly;
+    std::printf("--- %s ---\n", title);
+    const EpochLayout layout = EpochLayout::fromHeartbeats(trace);
+    ButterflyAddrCheck lifeguard(layout, cfg);
+    WindowSchedule().run(layout, lifeguard);
+    if (lifeguard.errors().empty()) {
+        std::printf("  no findings (safe / isolated)\n\n");
+        return;
+    }
+    for (const auto &rec : lifeguard.errors().records())
+        std::printf("  flagged: %s\n", rec.toString().c_str());
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace bfly;
+    using test::traceOf;
+
+    AddrCheckConfig cfg;
+    cfg.heapBase = 0x100;
+    cfg.heapLimit = 0x10000;
+
+    const Addr a = 0x100, b = 0x200;
+
+    // Figure 9, threads 1 & 2: allocation of `a` in epoch j, access by
+    // another thread in epoch j+1 — potentially concurrent, flagged.
+    runScenario("Fig. 9: concurrent allocation and access (flagged)",
+                traceOf({
+                    {Event::alloc(a, 8), Event::heartbeat(),
+                     Event::nop()},
+                    {Event::nop(), Event::heartbeat(),
+                     Event::read(a, 8)},
+                }),
+                cfg);
+
+    // Figure 9, thread 3: isolated allocation, own access next epoch.
+    runScenario("Fig. 9: isolated allocation (safe)",
+                traceOf({
+                    {Event::alloc(b, 8), Event::heartbeat(),
+                     Event::read(b, 8)},
+                    {Event::nop(), Event::heartbeat(), Event::nop()},
+                }),
+                cfg);
+
+    // Two epochs of distance: the allocation has reached the SOS and
+    // any thread may access it without a flag.
+    runScenario("epoch distance 2: allocation visible via the SOS",
+                traceOf({
+                    {Event::alloc(a, 8), Event::heartbeat(), Event::nop(),
+                     Event::heartbeat(), Event::nop()},
+                    {Event::nop(), Event::heartbeat(), Event::nop(),
+                     Event::heartbeat(), Event::read(a, 8)},
+                }),
+                cfg);
+
+    // A genuine double free — flagged under every interleaving.
+    runScenario("double free (true positive)",
+                traceOf({
+                    {Event::alloc(a, 8), Event::freeOf(a, 8),
+                     Event::freeOf(a, 8)},
+                }),
+                cfg);
+
+    std::printf("The first scenario is the trade-off the paper "
+                "quantifies in Fig. 13:\nconcurrency the analysis "
+                "cannot order is flagged conservatively, so larger\n"
+                "epochs (more unordered concurrency) mean more false "
+                "positives but lower\nper-epoch overheads.\n");
+    return 0;
+}

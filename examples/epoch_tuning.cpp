@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Epoch tuning: the paper's central knob, end to end.
+ *
+ * Runs the OCEAN-like workload (the epoch-size-sensitive one) at four
+ * epoch sizes and prints the two quantities Section 7.2 trades off:
+ * normalized execution time (per-epoch overheads amortize with larger
+ * epochs) and the false-positive rate (more unordered concurrency per
+ * window means more conservative flags). Somewhere in between sits an
+ * epoch size with both high performance and high accuracy.
+ *
+ * Build & run:  ./build/examples/epoch_tuning   (takes ~a minute)
+ */
+
+#include <cstdio>
+
+#include "harness/session.hpp"
+
+int
+main()
+{
+    using namespace bfly;
+
+    std::printf("tuning the epoch size h on the ocean workload "
+                "(4 threads)...\n\n");
+    std::printf("%10s %8s %12s %16s %14s\n", "h (instr)", "epochs",
+                "butterfly", "FP %% of accesses", "false negatives");
+
+    for (const std::size_t h : {512ul, 2048ul, 8192ul, 32768ul}) {
+        SessionConfig cfg;
+        cfg.factory = makeOcean;
+        cfg.workload.numThreads = 4;
+        cfg.workload.instrPerThread = 200000;
+        cfg.workload.phaseEvents = 9000;
+        cfg.workload.warmupNops = 40000;
+        cfg.epochSize = h;
+
+        const SessionResult r = runSession(cfg);
+        std::printf("%10zu %8zu %12.2f %15.5f%% %14zu\n", h, r.epochs,
+                    r.perf.butterfly.normalized,
+                    100.0 * r.falsePositiveRate,
+                    r.accuracy.falseNegatives);
+    }
+
+    std::printf("\nsmaller epochs: more barriers and SOS updates per "
+                "instruction (slower),\nbut less unordered concurrency "
+                "per window (fewer false positives).\nfalse negatives "
+                "are zero at every setting — the knob only trades\n"
+                "performance against precision, never against "
+                "soundness.\n");
+    return 0;
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * monitor_cli: drive the whole monitoring stack from the command line.
+ *
+ *   monitor_cli [--workload NAME] [--threads N] [--epoch H]
+ *               [--instr N] [--model sc|tso] [--seed S] [--verbose]
+ *
+ * Runs the chosen workload under the chosen memory model, monitors it
+ * with butterfly ADDRCHECK, prices all three monitoring modes with the
+ * timing model, and prints a session report. `--workload list` prints
+ * the available workloads.
+ *
+ * Examples:
+ *   ./build/examples/monitor_cli --workload ocean --threads 8
+ *   ./build/examples/monitor_cli --workload barnes --epoch 16384 --model tso
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/session.hpp"
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--workload NAME] [--threads N] [--epoch H]\n"
+        "          [--instr N] [--model sc|tso] [--seed S] [--verbose]\n"
+        "       %s --workload list\n",
+        argv0, argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bfly;
+
+    std::string workload = "ocean";
+    unsigned threads = 4;
+    std::size_t epoch = 8192;
+    std::size_t instr = 200000;
+    MemModel model = MemModel::SequentiallyConsistent;
+    std::uint64_t seed = 42;
+    bool verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            workload = next();
+        } else if (arg == "--threads") {
+            threads = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--epoch") {
+            epoch = static_cast<std::size_t>(std::atoll(next()));
+        } else if (arg == "--instr") {
+            instr = static_cast<std::size_t>(std::atoll(next()));
+        } else if (arg == "--seed") {
+            seed = static_cast<std::uint64_t>(std::atoll(next()));
+        } else if (arg == "--model") {
+            const std::string m = next();
+            if (m == "sc")
+                model = MemModel::SequentiallyConsistent;
+            else if (m == "tso")
+                model = MemModel::TSO;
+            else
+                usage(argv[0]);
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    if (workload == "list") {
+        for (const auto &[name, factory] : paperWorkloads())
+            std::printf("%s\n", name.c_str());
+        std::printf("random-mix\ntaint-mix\n");
+        return 0;
+    }
+
+    WorkloadFactory factory = nullptr;
+    for (const auto &[name, fn] : paperWorkloads()) {
+        if (name == workload)
+            factory = fn;
+    }
+    if (workload == "random-mix")
+        factory = makeRandomMix;
+    if (workload == "taint-mix")
+        factory = makeTaintMix;
+    if (!factory) {
+        std::fprintf(stderr, "unknown workload '%s' (try --workload "
+                             "list)\n",
+                     workload.c_str());
+        return 2;
+    }
+
+    SessionConfig cfg;
+    cfg.factory = factory;
+    cfg.workload.numThreads = threads;
+    cfg.workload.instrPerThread = instr;
+    cfg.workload.phaseEvents = 9000;
+    cfg.workload.warmupNops = 3 * epoch;
+    cfg.workload.seed = seed;
+    cfg.epochSize = epoch;
+    cfg.model = model;
+    cfg.interleaveSeed = seed * 7919 + 1;
+
+    std::printf("monitoring %s: %u threads, h=%zu, %s, ~%zu "
+                "events/thread\n",
+                workload.c_str(), threads, epoch,
+                model == MemModel::TSO ? "TSO" : "SC", instr);
+
+    const SessionResult r = runSession(cfg);
+
+    std::printf("\n-- trace ----------------------------------------\n");
+    std::printf("instructions      %zu\n", r.instructions);
+    std::printf("memory accesses   %zu\n", r.memoryAccesses);
+    std::printf("epochs            %zu\n", r.epochs);
+
+    std::printf("\n-- accuracy (butterfly ADDRCHECK vs oracle) ------\n");
+    std::printf("oracle errors     %zu\n", r.oracleErrorCount);
+    std::printf("butterfly flags   %zu\n", r.butterflyErrorCount);
+    std::printf("true positives    %zu\n", r.accuracy.truePositives);
+    std::printf("false positives   %zu  (%.5f%% of accesses)\n",
+                r.accuracy.falsePositives, 100.0 * r.falsePositiveRate);
+    std::printf("false negatives   %zu  (provably zero)\n",
+                r.accuracy.falseNegatives);
+
+    std::printf("\n-- performance (normalized to sequential "
+                "unmonitored) --\n");
+    std::printf("timesliced        %.2fx\n",
+                r.perf.timesliced.normalized);
+    std::printf("butterfly         %.2fx\n",
+                r.perf.butterfly.normalized);
+    std::printf("parallel no-mon   %.2fx\n",
+                r.perf.parallelNoMonitor.normalized);
+
+    if (verbose) {
+        std::printf("\n-- detail ----------------------------------\n");
+        std::printf("sequential baseline  %llu cycles\n",
+                    static_cast<unsigned long long>(
+                        r.perf.sequentialBaseline));
+        std::printf("butterfly app stalls %llu cycles\n",
+                    static_cast<unsigned long long>(
+                        r.perf.butterfly.timing.appStallCycles));
+        std::printf("barrier wait         %llu cycles\n",
+                    static_cast<unsigned long long>(
+                        r.perf.butterfly.timing.barrierWaitCycles));
+        for (const auto &[name, value] : r.perf.cacheStats.all())
+            std::printf("%-20s %llu\n", name.c_str(),
+                        static_cast<unsigned long long>(value));
+    }
+    return r.accuracy.falseNegatives == 0 ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+#include "butterfly/window.hpp"
+
+#include <thread>
+#include <vector>
+
+namespace bfly {
+
+void
+WindowSchedule::runPass(const EpochLayout &layout, EpochId l, bool second,
+                        AnalysisDriver &driver) const
+{
+    const std::size_t nthreads = layout.numThreads();
+    auto work = [&](ThreadId t) {
+        const BlockView block = layout.block(l, t);
+        if (second)
+            driver.pass2(block);
+        else
+            driver.pass1(block);
+    };
+
+    if (!parallelPasses_ || nthreads <= 1) {
+        for (ThreadId t = 0; t < nthreads; ++t)
+            work(t);
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (ThreadId t = 0; t < nthreads; ++t)
+        pool.emplace_back(work, t);
+    for (std::thread &th : pool)
+        th.join();
+}
+
+void
+WindowSchedule::run(const EpochLayout &layout, AnalysisDriver &driver) const
+{
+    const std::size_t nepochs = layout.numEpochs();
+    for (EpochId l = 0; l < nepochs; ++l) {
+        // Step 1: pass 1 over the newly-arrived epoch l.
+        runPass(layout, l, false, driver);
+        // Steps 2-4: epoch l-1's wings (epochs l-2..l) are now summarized.
+        if (l >= 1) {
+            runPass(layout, l - 1, true, driver);
+            driver.finalizeEpoch(l - 1);
+        }
+    }
+    if (nepochs >= 1) {
+        // The final epoch's wings end at the trace boundary.
+        runPass(layout, nepochs - 1, true, driver);
+        driver.finalizeEpoch(nepochs - 1);
+    }
+}
+
+} // namespace bfly

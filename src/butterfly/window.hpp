@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The sliding-window schedule of butterfly analysis (paper Sections 4.2-4.3).
+ *
+ * Butterfly analysis processes a trace as a pipeline of 3-epoch windows.
+ * When the events of epoch l have been fully received:
+ *
+ *   step 1  pass 1 runs on every block (l, t): local dataflow using the
+ *           LSOS, producing the block's side-out summaries;
+ *   step 2  summaries from the wings of each body block in epoch l-1 are
+ *           met (all pass-1 summaries for epochs l-2..l now exist);
+ *   step 3  pass 2 runs on every block (l-1, t), repeating the analysis
+ *           with wing state and performing the lifeguard's checks;
+ *   step 4  epoch l-1's summary (GEN_l-1 / KILL_l-1) updates the SOS.
+ *
+ * The WindowSchedule drives an AnalysisDriver through exactly this order,
+ * optionally fanning each pass out over real threads — safe because blocks
+ * within a pass touch disjoint state and the shared SOS is only advanced in
+ * the single-writer step 4 (the paper's "no synchronization on metadata"
+ * observation).
+ */
+
+#ifndef BUTTERFLY_BUTTERFLY_WINDOW_HPP
+#define BUTTERFLY_BUTTERFLY_WINDOW_HPP
+
+#include <cstddef>
+
+#include "trace/epoch_slicer.hpp"
+
+namespace bfly {
+
+/** Hooks a butterfly analysis implements; called by WindowSchedule. */
+class AnalysisDriver
+{
+  public:
+    virtual ~AnalysisDriver() = default;
+
+    /**
+     * Step 1: local analysis of block (l, t). The driver computes GEN/KILL
+     * and its side-out summaries and may perform LSOS-based local checks.
+     */
+    virtual void pass1(const BlockView &block) = 0;
+
+    /**
+     * Steps 2+3: wing summaries for body block (l, t) are complete; meet
+     * them and re-run the analysis with wing state, performing checks.
+     */
+    virtual void pass2(const BlockView &block) = 0;
+
+    /**
+     * Step 4: all blocks of epoch l have finished pass 2; fold the epoch
+     * summary into the SOS (single-writer).
+     */
+    virtual void finalizeEpoch(EpochId l) = 0;
+};
+
+/** Drives an AnalysisDriver over a trace in butterfly window order. */
+class WindowSchedule
+{
+  public:
+    /**
+     * @param parallel_passes  run each pass's per-thread blocks on real
+     *                         std::threads (demonstrates the lock-free
+     *                         schedule; results must equal sequential)
+     */
+    explicit WindowSchedule(bool parallel_passes = false)
+        : parallelPasses_(parallel_passes)
+    {}
+
+    /** Process the whole trace. */
+    void run(const EpochLayout &layout, AnalysisDriver &driver) const;
+
+  private:
+    void runPass(const EpochLayout &layout, EpochId l, bool second,
+                 AnalysisDriver &driver) const;
+
+    bool parallelPasses_;
+};
+
+} // namespace bfly
+
+#endif // BUTTERFLY_BUTTERFLY_WINDOW_HPP

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Hash-based address sets with the set algebra the butterfly dataflow
+ * equations are written in (union, intersection, difference).
+ *
+ * The dataflow summaries (GEN, KILL, SIDE-OUT, SIDE-IN, SOS deltas) are all
+ * sets of addresses or definition ids; this wrapper provides value-semantic
+ * set operations plus deterministic sorted iteration for reporting.
+ */
+
+#ifndef BUTTERFLY_COMMON_ADDR_SET_HPP
+#define BUTTERFLY_COMMON_ADDR_SET_HPP
+
+#include <algorithm>
+#include <initializer_list>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bfly {
+
+/** Value-semantic set of 64-bit keys (addresses or packed ids). */
+template <typename Key = Addr>
+class FlatSet
+{
+  public:
+    FlatSet() = default;
+    FlatSet(std::initializer_list<Key> init) : set_(init) {}
+
+    bool contains(Key k) const { return set_.count(k) != 0; }
+    bool empty() const { return set_.empty(); }
+    std::size_t size() const { return set_.size(); }
+
+    void insert(Key k) { set_.insert(k); }
+    void erase(Key k) { set_.erase(k); }
+    void clear() { set_.clear(); }
+
+    /** In-place union: *this |= other. */
+    void
+    unionWith(const FlatSet &other)
+    {
+        for (Key k : other.set_)
+            set_.insert(k);
+    }
+
+    /** In-place intersection: *this &= other. */
+    void
+    intersectWith(const FlatSet &other)
+    {
+        for (auto it = set_.begin(); it != set_.end();) {
+            if (!other.contains(*it))
+                it = set_.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    /** In-place difference: *this -= other. */
+    void
+    subtract(const FlatSet &other)
+    {
+        if (other.size() < set_.size()) {
+            for (Key k : other.set_)
+                set_.erase(k);
+        } else {
+            for (auto it = set_.begin(); it != set_.end();) {
+                if (other.contains(*it))
+                    it = set_.erase(it);
+                else
+                    ++it;
+            }
+        }
+    }
+
+    /** True if the intersection with @p other is non-empty. */
+    bool
+    intersects(const FlatSet &other) const
+    {
+        const FlatSet &small = size() <= other.size() ? *this : other;
+        const FlatSet &large = size() <= other.size() ? other : *this;
+        return std::any_of(small.set_.begin(), small.set_.end(),
+                           [&](Key k) { return large.contains(k); });
+    }
+
+    bool
+    operator==(const FlatSet &other) const
+    {
+        return set_ == other.set_;
+    }
+
+    auto begin() const { return set_.begin(); }
+    auto end() const { return set_.end(); }
+
+    /** Elements in ascending order (for deterministic reports/tests). */
+    std::vector<Key>
+    sorted() const
+    {
+        std::vector<Key> out(set_.begin(), set_.end());
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
+  private:
+    std::unordered_set<Key> set_;
+};
+
+using AddrSet = FlatSet<Addr>;
+
+/** s1 | s2 by value. */
+template <typename K>
+FlatSet<K>
+setUnion(const FlatSet<K> &a, const FlatSet<K> &b)
+{
+    FlatSet<K> out = a;
+    out.unionWith(b);
+    return out;
+}
+
+/** s1 & s2 by value. */
+template <typename K>
+FlatSet<K>
+setIntersect(const FlatSet<K> &a, const FlatSet<K> &b)
+{
+    FlatSet<K> out = a;
+    out.intersectWith(b);
+    return out;
+}
+
+/** s1 - s2 by value. */
+template <typename K>
+FlatSet<K>
+setDifference(const FlatSet<K> &a, const FlatSet<K> &b)
+{
+    FlatSet<K> out = a;
+    out.subtract(b);
+    return out;
+}
+
+} // namespace bfly
+
+#endif // BUTTERFLY_COMMON_ADDR_SET_HPP

@@ -1,0 +1,88 @@
+#include "common/heap.hpp"
+
+#include "common/logging.hpp"
+
+namespace bfly {
+
+SimHeap::SimHeap(Addr base, std::size_t size, std::size_t alignment)
+    : base_(base), size_(size), alignment_(alignment)
+{
+    ensure(alignment_ != 0 && (alignment_ & (alignment_ - 1)) == 0,
+           "SimHeap alignment must be a power of two");
+    ensure((base_ & (alignment_ - 1)) == 0,
+           "SimHeap base must be aligned");
+    freeList_[base_] = size_;
+}
+
+Addr
+SimHeap::malloc(std::size_t size)
+{
+    if (size == 0)
+        size = 1;
+    // Round up to the alignment so that subsequent blocks stay aligned.
+    size = (size + alignment_ - 1) & ~(alignment_ - 1);
+
+    for (auto it = freeList_.begin(); it != freeList_.end(); ++it) {
+        if (it->second < size)
+            continue;
+        const Addr addr = it->first;
+        const std::size_t remaining = it->second - size;
+        freeList_.erase(it);
+        if (remaining > 0)
+            freeList_[addr + size] = remaining;
+        allocated_[addr] = size;
+        bytesInUse_ += size;
+        return addr;
+    }
+    return kNoAddr;
+}
+
+std::size_t
+SimHeap::free(Addr addr)
+{
+    auto it = allocated_.find(addr);
+    if (it == allocated_.end())
+        return 0;
+    const std::size_t size = it->second;
+    allocated_.erase(it);
+    bytesInUse_ -= size;
+
+    // Insert into the free list and coalesce with neighbours.
+    auto [pos, inserted] = freeList_.emplace(addr, size);
+    ensure(inserted, "freed region already on free list");
+
+    // Coalesce with successor.
+    auto next = std::next(pos);
+    if (next != freeList_.end() && pos->first + pos->second == next->first) {
+        pos->second += next->second;
+        freeList_.erase(next);
+    }
+    // Coalesce with predecessor.
+    if (pos != freeList_.begin()) {
+        auto prev = std::prev(pos);
+        if (prev->first + prev->second == pos->first) {
+            prev->second += pos->second;
+            freeList_.erase(pos);
+        }
+    }
+    return size;
+}
+
+std::size_t
+SimHeap::allocationSize(Addr addr) const
+{
+    auto it = allocated_.find(addr);
+    return it == allocated_.end() ? 0 : it->second;
+}
+
+bool
+SimHeap::isAllocated(Addr addr) const
+{
+    auto it = allocated_.upper_bound(addr);
+    if (it == allocated_.begin())
+        return false;
+    --it;
+    return addr >= it->first && addr < it->first + it->second;
+}
+
+} // namespace bfly

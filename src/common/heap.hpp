@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Simulated heap allocator for workload generation.
+ *
+ * Workloads do not touch real memory; they operate on a simulated address
+ * space. This allocator hands out address ranges exactly the way a simple
+ * first-fit malloc would, so that the ADDRCHECK lifeguard sees realistic
+ * allocation lifetimes, reuse of freed regions, and fragmentation.
+ */
+
+#ifndef BUTTERFLY_COMMON_HEAP_HPP
+#define BUTTERFLY_COMMON_HEAP_HPP
+
+#include <cstddef>
+#include <map>
+
+#include "common/types.hpp"
+
+namespace bfly {
+
+/** First-fit free-list allocator over a simulated address range. */
+class SimHeap
+{
+  public:
+    /**
+     * @param base       lowest address managed by the heap
+     * @param size       bytes managed
+     * @param alignment  every returned block is aligned to this (power of 2)
+     */
+    SimHeap(Addr base, std::size_t size, std::size_t alignment = 8);
+
+    /**
+     * Allocate @p size bytes.
+     * @return base address of the block, or kNoAddr if out of memory.
+     */
+    Addr malloc(std::size_t size);
+
+    /**
+     * Free a previously allocated block.
+     * @return size of the freed block, or 0 if @p addr was not a live
+     *         allocation (double free / wild free).
+     */
+    std::size_t free(Addr addr);
+
+    /** Size of the live allocation starting at @p addr (0 if none). */
+    std::size_t allocationSize(Addr addr) const;
+
+    /** True if @p addr falls inside any live allocation. */
+    bool isAllocated(Addr addr) const;
+
+    /** Total bytes currently allocated. */
+    std::size_t bytesInUse() const { return bytesInUse_; }
+
+    /** Number of live allocations. */
+    std::size_t liveAllocations() const { return allocated_.size(); }
+
+    Addr base() const { return base_; }
+    std::size_t capacity() const { return size_; }
+
+  private:
+    Addr base_;
+    std::size_t size_;
+    std::size_t alignment_;
+    std::size_t bytesInUse_ = 0;
+
+    /** Free regions keyed by base address -> length (coalesced). */
+    std::map<Addr, std::size_t> freeList_;
+    /** Live allocations keyed by base address -> length. */
+    std::map<Addr, std::size_t> allocated_;
+};
+
+} // namespace bfly
+
+#endif // BUTTERFLY_COMMON_HEAP_HPP

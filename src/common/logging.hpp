@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal panic/fatal/warn helpers in the spirit of gem5's base/logging.hh.
+ *
+ *  - panic(): an internal invariant of the library was violated (a bug in
+ *    *this* code); aborts so a debugger/core dump can be collected.
+ *  - fatal(): the caller configured something impossible (user error);
+ *    exits with status 1.
+ *  - warnOnce()/inform(): status messages that never stop execution.
+ */
+
+#ifndef BUTTERFLY_COMMON_LOGGING_HPP
+#define BUTTERFLY_COMMON_LOGGING_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace bfly {
+
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+/** Assert a library invariant; calls panic() on failure. */
+inline void
+ensure(bool cond, const char *what)
+{
+    if (!cond)
+        panic(std::string("invariant violated: ") + what);
+}
+
+} // namespace bfly
+
+#endif // BUTTERFLY_COMMON_LOGGING_HPP

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Two-level paged shadow memory.
+ *
+ * Lifeguards keep per-byte (or per-word) metadata for the entire simulated
+ * application address space. A flat array would be wasteful; instead we use
+ * the classic two-level scheme from Memcheck/AddrCheck: a directory of
+ * fixed-size pages, allocated lazily on first touch. Reads of untouched
+ * addresses return a default value without allocating.
+ */
+
+#ifndef BUTTERFLY_COMMON_SHADOW_MEMORY_HPP
+#define BUTTERFLY_COMMON_SHADOW_MEMORY_HPP
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bfly {
+
+/**
+ * Lazily-allocated paged map from address to metadata value.
+ *
+ * @tparam T           metadata type (must be cheap to copy)
+ * @tparam PageBits    log2 of entries per page (default 4096 entries)
+ */
+template <typename T, unsigned PageBits = 12>
+class ShadowMemory
+{
+  public:
+    static constexpr std::size_t kPageSize = std::size_t{1} << PageBits;
+    static constexpr Addr kOffsetMask = kPageSize - 1;
+
+    explicit ShadowMemory(T default_value = T{})
+        : defaultValue_(default_value)
+    {}
+
+    /** Read the metadata for @p addr (default value if untouched). */
+    T
+    get(Addr addr) const
+    {
+        auto it = pages_.find(pageIndex(addr));
+        if (it == pages_.end())
+            return defaultValue_;
+        return (*it->second)[addr & kOffsetMask];
+    }
+
+    /** Write metadata for @p addr, allocating its page if needed. */
+    void
+    set(Addr addr, const T &value)
+    {
+        page(addr)[addr & kOffsetMask] = value;
+    }
+
+    /** Write metadata for a contiguous range [addr, addr+len). */
+    void
+    setRange(Addr addr, std::size_t len, const T &value)
+    {
+        for (std::size_t k = 0; k < len; ++k)
+            set(addr + k, value);
+    }
+
+    /** True if every byte of [addr, addr+len) equals @p value. */
+    bool
+    rangeEquals(Addr addr, std::size_t len, const T &value) const
+    {
+        for (std::size_t k = 0; k < len; ++k) {
+            if (!(get(addr + k) == value))
+                return false;
+        }
+        return true;
+    }
+
+    /** Number of lazily-allocated pages (for footprint accounting). */
+    std::size_t allocatedPages() const { return pages_.size(); }
+
+    /** Drop all pages, restoring every address to the default value. */
+    void
+    clear()
+    {
+        pages_.clear();
+    }
+
+  private:
+    using Page = std::array<T, kPageSize>;
+
+    static Addr pageIndex(Addr addr) { return addr >> PageBits; }
+
+    Page &
+    page(Addr addr)
+    {
+        auto &slot = pages_[pageIndex(addr)];
+        if (!slot) {
+            slot = std::make_unique<Page>();
+            slot->fill(defaultValue_);
+        }
+        return *slot;
+    }
+
+    T defaultValue_;
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace bfly
+
+#endif // BUTTERFLY_COMMON_SHADOW_MEMORY_HPP

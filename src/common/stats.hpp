@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Lightweight statistics: named counters and scalar gauges, plus a simple
+ * fixed-bucket histogram. Used by the simulator, lifeguards and harness to
+ * report the quantities the paper's figures are built from (cycles, events,
+ * errors, false positives, stalls, ...).
+ */
+
+#ifndef BUTTERFLY_COMMON_STATS_HPP
+#define BUTTERFLY_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bfly {
+
+/** A named bag of counters with formatted dumping. */
+class StatSet
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void
+    add(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Overwrite counter @p name. */
+    void
+    set(const std::string &name, std::uint64_t value)
+    {
+        counters_[name] = value;
+    }
+
+    /** Current value (0 if never touched). */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** Merge all counters from @p other into this set. */
+    void
+    merge(const StatSet &other)
+    {
+        for (const auto &[name, value] : other.counters_)
+            counters_[name] += value;
+    }
+
+    void clear() { counters_.clear(); }
+
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+
+    /** Dump "name value" lines, sorted by name. */
+    void
+    dump(std::ostream &os, const std::string &prefix = "") const
+    {
+        for (const auto &[name, value] : counters_)
+            os << prefix << name << " " << value << "\n";
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+/** Power-of-two bucketed histogram for latency / size distributions. */
+class Histogram
+{
+  public:
+    explicit Histogram(unsigned buckets = 32) : buckets_(buckets, 0) {}
+
+    void
+    sample(std::uint64_t value)
+    {
+        unsigned b = 0;
+        while ((std::uint64_t{1} << (b + 1)) <= value &&
+               b + 1 < buckets_.size()) {
+            ++b;
+        }
+        ++buckets_[b];
+        ++count_;
+        sum_ += value;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? double(sum_) / count_ : 0.0; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+} // namespace bfly
+
+#endif // BUTTERFLY_COMMON_STATS_HPP

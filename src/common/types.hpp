@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fundamental identifier and arithmetic types shared across the butterfly
+ * analysis library.
+ *
+ * The naming follows the paper: an *epoch* is a heartbeat-delimited slice of
+ * every thread's dynamic trace; a *block* is the portion of one thread's
+ * trace inside one epoch, identified by the pair (l, t); an individual
+ * dynamic instruction is identified by the triple (l, t, i).
+ */
+
+#ifndef BUTTERFLY_COMMON_TYPES_HPP
+#define BUTTERFLY_COMMON_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace bfly {
+
+/** Simulated virtual address within the monitored application. */
+using Addr = std::uint64_t;
+
+/** Application / lifeguard thread identifier. */
+using ThreadId = std::uint32_t;
+
+/** Epoch identifier `l`: monotonically increasing, 0-based. */
+using EpochId = std::uint64_t;
+
+/** Offset `i` of an instruction from the start of its block. */
+using InstrOffset = std::uint32_t;
+
+/** Simulated clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Count of dynamic instructions / events. */
+using InstrCount = std::uint64_t;
+
+/** Sentinel for "no address". */
+inline constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+/** Sentinel for "no epoch". */
+inline constexpr EpochId kNoEpoch = std::numeric_limits<EpochId>::max();
+
+/** Sentinel for "no thread". */
+inline constexpr ThreadId kNoThread = std::numeric_limits<ThreadId>::max();
+
+} // namespace bfly
+
+#endif // BUTTERFLY_COMMON_TYPES_HPP

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Direct-mapped idempotent filter (LBA accelerator model).
+ *
+ * Remembers the last metadata key hashed into each slot; an access whose
+ * keys all hit needs no full metadata check (the same check already ran
+ * and nothing invalidated it). Allocation-state changes evict their keys
+ * so stale "checked" verdicts cannot survive a metadata change. Butterfly
+ * analysis must flush the filter at every epoch boundary (Section 7.1,
+ * footnote 5: events may be filtered within, never across, epochs); the
+ * timesliced baseline never flushes.
+ */
+
+#ifndef BUTTERFLY_HARNESS_IDEMPOTENT_FILTER_HPP
+#define BUTTERFLY_HARNESS_IDEMPOTENT_FILTER_HPP
+
+#include <algorithm>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bfly {
+
+/** Last-key-per-slot filter; see file comment. */
+class IdempotentFilter
+{
+  public:
+    explicit IdempotentFilter(std::size_t slots = 4096)
+        : slots_(slots, kNoAddr)
+    {}
+
+    bool
+    hit(Addr key) const
+    {
+        return slots_[key % slots_.size()] == key;
+    }
+
+    void insert(Addr key) { slots_[key % slots_.size()] = key; }
+
+    /** Metadata changed: forget any cached verdict for @p key. */
+    void
+    evict(Addr key)
+    {
+        auto &slot = slots_[key % slots_.size()];
+        if (slot == key)
+            slot = kNoAddr;
+    }
+
+    /** Epoch boundary (butterfly mode): forget everything. */
+    void flush() { std::fill(slots_.begin(), slots_.end(), kNoAddr); }
+
+    std::size_t slots() const { return slots_.size(); }
+
+  private:
+    std::vector<Addr> slots_;
+};
+
+} // namespace bfly
+
+#endif // BUTTERFLY_HARNESS_IDEMPOTENT_FILTER_HPP

@@ -1,0 +1,67 @@
+#include "harness/session.hpp"
+
+#include "butterfly/window.hpp"
+#include "common/logging.hpp"
+#include "lifeguards/addrcheck_oracle.hpp"
+
+namespace bfly {
+
+SessionResult
+runSession(const SessionConfig &config)
+{
+    ensure(config.factory != nullptr, "session needs a workload factory");
+
+    // 1. Generate the workload and execute it under the memory model.
+    Workload workload = config.factory(config.workload);
+    Rng rng(config.interleaveSeed);
+    InterleaveConfig icfg;
+    icfg.model = config.model;
+    Trace trace = interleave(workload.programs, icfg, rng);
+
+    // 2. Slice into heartbeat epochs.
+    // Heartbeats fire after h*n instructions of global progress (the
+    // prototype's mechanism, Section 7.1), so the epoch structure is
+    // time-like: stalled threads contribute empty blocks.
+    EpochLayout layout = EpochLayout::byGlobalSeq(
+        trace, config.epochSize * trace.numThreads());
+
+    // 3. Functional butterfly ADDRCHECK run.
+    AddrCheckConfig acfg;
+    acfg.granularity = config.granularity;
+    acfg.heapBase = workload.heapBase;
+    acfg.heapLimit = workload.heapLimit;
+
+    ButterflyAddrCheck butterfly(layout, acfg);
+    WindowSchedule schedule(config.parallelPasses);
+    schedule.run(layout, butterfly);
+
+    // 4. Ground truth from the exact oracle over the true interleaving.
+    AddrCheckOracle oracle(acfg);
+    oracle.runOnTrace(trace);
+
+    SessionResult result;
+    result.workloadName = workload.name;
+    result.threads = trace.numThreads();
+    result.instructions = trace.instructionCount();
+    result.memoryAccesses = trace.memoryAccessCount();
+    result.epochs = layout.numEpochs();
+    result.butterflyErrorCount = butterfly.errors().size();
+    result.oracleErrorCount = oracle.errors().size();
+    result.accuracy = compareToOracle(butterfly.errors(), oracle.errors(),
+                                      acfg.granularity);
+    result.falsePositiveRate =
+        result.accuracy.falsePositiveRate(result.memoryAccesses);
+
+    // 5. Timing for every monitoring mode.
+    PerfInputs pin;
+    pin.trace = &trace;
+    pin.layout = &layout;
+    pin.butterfly = &butterfly;
+    pin.addrcheck = acfg;
+    pin.costs = config.costs;
+    pin.logBufferBytes = config.logBufferBytes;
+    result.perf = computePerformance(pin);
+    return result;
+}
+
+} // namespace bfly

@@ -1,0 +1,351 @@
+#include "lifeguards/addrcheck.hpp"
+
+#include "common/logging.hpp"
+
+namespace bfly {
+
+ButterflyAddrCheck::ButterflyAddrCheck(const EpochLayout &layout,
+                                       const AddrCheckConfig &config)
+    : layout_(layout), config_(config),
+      summaries_(layout.numThreads())
+{
+    ensure(config_.granularity > 0, "granularity must be positive");
+}
+
+ButterflyAddrCheck::BlockSummary &
+ButterflyAddrCheck::slot(EpochId l, ThreadId t)
+{
+    return summaries_[t][l % kWindow];
+}
+
+const ButterflyAddrCheck::BlockSummary *
+ButterflyAddrCheck::slotIfValid(EpochId l, ThreadId t) const
+{
+    const BlockSummary &s = summaries_[t][l % kWindow];
+    return s.epoch == l ? &s : nullptr;
+}
+
+void
+ButterflyAddrCheck::keysOf(Addr base, std::uint16_t size,
+                           std::vector<Addr> &out) const
+{
+    out.clear();
+    if (base == kNoAddr || !config_.monitored(base))
+        return;
+    const Addr first = config_.keyOf(base);
+    const Addr last = config_.keyOf(base + (size > 0 ? size - 1 : 0));
+    for (Addr k = first; k <= last; ++k)
+        out.push_back(k);
+}
+
+bool
+ButterflyAddrCheck::lsosBaseContains(Addr key, EpochId l, ThreadId t) const
+{
+    // LSOS_{l,t} = (GEN_{l-1,t} - U_{t'!=t} KILL_{l-2,t'})
+    //              U (SOS_l - KILL_{l-1,t})         [Section 5.2 / 6.1]
+    const BlockSummary *head =
+        l >= 1 ? slotIfValid(l - 1, t) : nullptr;
+
+    if (head && head->genEnd.contains(key)) {
+        bool killed_by_l2 = false;
+        if (l >= 2) {
+            for (ThreadId u = 0; u < summaries_.size() && !killed_by_l2;
+                 ++u) {
+                if (u == t)
+                    continue;
+                const BlockSummary *w = slotIfValid(l - 2, u);
+                if (w && w->killEnd.contains(key))
+                    killed_by_l2 = true;
+            }
+        }
+        if (!killed_by_l2)
+            return true;
+    }
+    if (sos_.contains(key)) {
+        if (!head || !head->killEnd.contains(key))
+            return true;
+    }
+    return false;
+}
+
+void
+ButterflyAddrCheck::commitBlock(EpochId l, ThreadId t,
+                                const std::vector<ErrorRecord> &local,
+                                std::uint64_t checks,
+                                std::uint64_t isolation)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (const ErrorRecord &rec : local) {
+        if (errors_.report(rec))
+            ++errorsPerBlock_[blockKey(l, t)];
+    }
+    eventsChecked_ += checks;
+    isolationViol_ += isolation;
+}
+
+void
+ButterflyAddrCheck::pass1(const BlockView &block)
+{
+    const EpochId l = block.epoch;
+    const ThreadId t = block.thread;
+    BlockSummary &s = slot(l, t);
+    s = BlockSummary{};
+    s.epoch = l;
+
+    std::vector<ErrorRecord> local_errors;
+    std::uint64_t checks = 0;
+
+    // Local allocation-state delta on top of the LSOS (key -> allocated?).
+    std::unordered_map<Addr, bool> delta;
+    auto contains = [&](Addr key) {
+        auto it = delta.find(key);
+        if (it != delta.end())
+            return it->second;
+        return lsosBaseContains(key, l, t);
+    };
+    auto flag = [&](std::uint64_t index, Addr addr, std::uint16_t size,
+                    ErrorKind kind) {
+        local_errors.push_back(ErrorRecord{t, index, addr, kind, size});
+    };
+
+    std::vector<Addr> keys;
+    for (InstrOffset i = 0; i < block.size(); ++i) {
+        const Event &e = block.events[i];
+        const std::uint64_t index = layout_.globalIndex(l, t, i);
+
+        auto check_access = [&](Addr base, std::uint16_t size) {
+            keysOf(base, size, keys);
+            for (Addr k : keys) {
+                ++checks;
+                if (!contains(k))
+                    flag(index, base, size,
+                         ErrorKind::UnallocatedAccess);
+                s.access.insert(k);
+            }
+        };
+
+        switch (e.kind) {
+          case EventKind::Alloc:
+            keysOf(e.addr, e.size, keys);
+            for (Addr k : keys) {
+                ++checks;
+                if (contains(k))
+                    flag(index, e.addr, e.size, ErrorKind::DoubleAlloc);
+                delta[k] = true;
+                s.allocAny.insert(k);
+                s.genEnd.insert(k);
+                s.killEnd.erase(k);
+            }
+            break;
+
+          case EventKind::Free:
+            keysOf(e.addr, e.size, keys);
+            for (Addr k : keys) {
+                ++checks;
+                if (!contains(k))
+                    flag(index, e.addr, e.size,
+                         ErrorKind::UnallocatedFree);
+                delta[k] = false;
+                s.freeAny.insert(k);
+                s.killEnd.insert(k);
+                s.genEnd.erase(k);
+            }
+            break;
+
+          case EventKind::Read:
+          case EventKind::Write:
+          case EventKind::Use:
+            check_access(e.addr, e.size);
+            break;
+
+          case EventKind::Assign: {
+            check_access(e.addr, e.size);
+            const Addr srcs[2] = {e.src0, e.src1};
+            for (unsigned n = 0; n < e.nsrc; ++n)
+                check_access(srcs[n], e.size);
+            break;
+          }
+
+          default:
+            break;
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        summarySizes_[blockKey(l, t)] =
+            s.genEnd.size() + s.killEnd.size() + s.access.size();
+    }
+    commitBlock(l, t, local_errors, checks, 0);
+}
+
+void
+ButterflyAddrCheck::pass2(const BlockView &block)
+{
+    const EpochId l = block.epoch;
+    const ThreadId t = block.thread;
+
+    // Meet the wing summaries S_{l,t} (epochs l-1..l+1, threads != t).
+    AddrSet wing_genkill;
+    AddrSet wing_access;
+    const EpochId lo = l >= 1 ? l - 1 : 0;
+    for (EpochId w = lo; w <= l + 1; ++w) {
+        for (ThreadId u = 0; u < summaries_.size(); ++u) {
+            if (u == t)
+                continue;
+            const BlockSummary *s = slotIfValid(w, u);
+            if (!s)
+                continue;
+            wing_genkill.unionWith(s->allocAny);
+            wing_genkill.unionWith(s->freeAny);
+            wing_access.unionWith(s->access);
+        }
+    }
+
+    std::vector<ErrorRecord> local_errors;
+    std::uint64_t isolation = 0;
+
+    // Isolation check (Section 6.1): a body alloc/free conflicts with any
+    // concurrent alloc/free/access of the same key; a body access
+    // conflicts with any concurrent alloc/free of its key.
+    std::vector<Addr> keys;
+    for (InstrOffset i = 0; i < block.size(); ++i) {
+        const Event &e = block.events[i];
+        const std::uint64_t index = layout_.globalIndex(l, t, i);
+
+        auto check_state_change = [&](Addr base, std::uint16_t size) {
+            keysOf(base, size, keys);
+            for (Addr k : keys) {
+                if (wing_genkill.contains(k) || wing_access.contains(k)) {
+                    local_errors.push_back(ErrorRecord{
+                        t, index, base, ErrorKind::NonIsolatedOp, size});
+                    ++isolation;
+                    return;
+                }
+            }
+        };
+        auto check_access = [&](Addr base, std::uint16_t size) {
+            keysOf(base, size, keys);
+            for (Addr k : keys) {
+                if (wing_genkill.contains(k)) {
+                    local_errors.push_back(ErrorRecord{
+                        t, index, base, ErrorKind::NonIsolatedOp, size});
+                    ++isolation;
+                    return;
+                }
+            }
+        };
+
+        switch (e.kind) {
+          case EventKind::Alloc:
+          case EventKind::Free:
+            check_state_change(e.addr, e.size);
+            break;
+          case EventKind::Read:
+          case EventKind::Write:
+          case EventKind::Use:
+            check_access(e.addr, e.size);
+            break;
+          case EventKind::Assign: {
+            check_access(e.addr, e.size);
+            const Addr srcs[2] = {e.src0, e.src1};
+            for (unsigned n = 0; n < e.nsrc; ++n)
+                check_access(srcs[n], e.size);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    commitBlock(l, t, local_errors, 0, isolation);
+}
+
+void
+ButterflyAddrCheck::finalizeEpoch(EpochId l)
+{
+    const std::size_t nthreads = summaries_.size();
+
+    // KILL_l = U_t KILL_{l,t}
+    AddrSet kill_epoch;
+    for (ThreadId t = 0; t < nthreads; ++t) {
+        if (const BlockSummary *s = slotIfValid(l, t))
+            kill_epoch.unionWith(s->killEnd);
+    }
+
+    // GEN_l: allocated by some thread, and every other thread
+    // allocates-or-never-frees it across epochs l-1..l (Section 5.2).
+    auto gen_span = [&](Addr key, ThreadId u) {
+        const BlockSummary *cur = slotIfValid(l, u);
+        if (cur && cur->genEnd.contains(key))
+            return true;
+        if (l >= 1) {
+            const BlockSummary *prev = slotIfValid(l - 1, u);
+            if (prev && prev->genEnd.contains(key) &&
+                !(cur && cur->killEnd.contains(key))) {
+                return true;
+            }
+        }
+        return false;
+    };
+    auto not_kill_span = [&](Addr key, ThreadId u) {
+        if (l >= 1) {
+            const BlockSummary *prev = slotIfValid(l - 1, u);
+            if (prev && prev->killEnd.contains(key))
+                return false;
+        }
+        const BlockSummary *cur = slotIfValid(l, u);
+        if (cur && cur->killEnd.contains(key))
+            return false;
+        return true;
+    };
+
+    AddrSet gen_epoch;
+    for (ThreadId t = 0; t < nthreads; ++t) {
+        const BlockSummary *s = slotIfValid(l, t);
+        if (!s)
+            continue;
+        for (Addr key : s->genEnd) {
+            bool all_others = true;
+            for (ThreadId u = 0; u < nthreads; ++u) {
+                if (u == t)
+                    continue;
+                if (!gen_span(key, u) && !not_kill_span(key, u)) {
+                    all_others = false;
+                    break;
+                }
+            }
+            if (all_others)
+                gen_epoch.insert(key);
+        }
+    }
+
+    sosWork_[l] = gen_epoch.size() + kill_epoch.size();
+
+    // Single-writer SOS advance: SOS_{l+2} = GEN_l U (SOS_{l+1} - KILL_l).
+    sos_.subtract(kill_epoch);
+    sos_.unionWith(gen_epoch);
+}
+
+std::uint64_t
+ButterflyAddrCheck::errorsInBlock(EpochId l, ThreadId t) const
+{
+    auto it = errorsPerBlock_.find(blockKey(l, t));
+    return it == errorsPerBlock_.end() ? 0 : it->second;
+}
+
+std::uint64_t
+ButterflyAddrCheck::summarySize(EpochId l, ThreadId t) const
+{
+    auto it = summarySizes_.find(blockKey(l, t));
+    return it == summarySizes_.end() ? 0 : it->second;
+}
+
+std::uint64_t
+ButterflyAddrCheck::sosUpdateWork(EpochId l) const
+{
+    auto it = sosWork_.find(l);
+    return it == sosWork_.end() ? 0 : it->second;
+}
+
+} // namespace bfly

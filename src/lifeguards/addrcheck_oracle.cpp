@@ -1,0 +1,116 @@
+#include "lifeguards/addrcheck_oracle.hpp"
+
+#include <algorithm>
+
+namespace bfly {
+
+namespace {
+
+/** An event with its per-thread program index and visibility order. */
+struct IndexedEvent
+{
+    std::uint64_t gseq;
+    ThreadId tid;
+    std::uint64_t index;
+    const Event *e;
+};
+
+} // namespace
+
+AddrCheckOracle::AddrCheckOracle(const AddrCheckConfig &config)
+    : config_(config)
+{}
+
+void
+AddrCheckOracle::checkKeys(ThreadId tid, std::uint64_t index, Addr base,
+                           std::uint16_t size, bool want_allocated,
+                           ErrorKind kind_if_bad)
+{
+    if (base == kNoAddr || !config_.monitored(base))
+        return;
+    const Addr first = config_.keyOf(base);
+    const Addr last = config_.keyOf(base + (size > 0 ? size - 1 : 0));
+    for (Addr k = first; k <= last; ++k) {
+        ++eventsChecked_;
+        const bool is_allocated = allocated_.get(k) != 0;
+        if (is_allocated != want_allocated)
+            errors_.report(tid, index, base, kind_if_bad, size);
+    }
+}
+
+void
+AddrCheckOracle::processOne(ThreadId tid, std::uint64_t index,
+                            const Event &e)
+{
+    switch (e.kind) {
+      case EventKind::Alloc: {
+        checkKeys(tid, index, e.addr, e.size, false,
+                  ErrorKind::DoubleAlloc);
+        if (e.addr != kNoAddr && config_.monitored(e.addr)) {
+            const Addr first = config_.keyOf(e.addr);
+            const Addr last = config_.keyOf(
+                e.addr + (e.size > 0 ? e.size - 1 : 0));
+            for (Addr k = first; k <= last; ++k)
+                allocated_.set(k, 1);
+        }
+        break;
+      }
+      case EventKind::Free: {
+        checkKeys(tid, index, e.addr, e.size, true,
+                  ErrorKind::UnallocatedFree);
+        if (e.addr != kNoAddr && config_.monitored(e.addr)) {
+            const Addr first = config_.keyOf(e.addr);
+            const Addr last = config_.keyOf(
+                e.addr + (e.size > 0 ? e.size - 1 : 0));
+            for (Addr k = first; k <= last; ++k)
+                allocated_.set(k, 0);
+        }
+        break;
+      }
+      case EventKind::Read:
+      case EventKind::Write:
+      case EventKind::Use:
+        checkKeys(tid, index, e.addr, e.size, true,
+                  ErrorKind::UnallocatedAccess);
+        break;
+      case EventKind::Assign: {
+        checkKeys(tid, index, e.addr, e.size, true,
+                  ErrorKind::UnallocatedAccess);
+        const Addr srcs[2] = {e.src0, e.src1};
+        for (unsigned n = 0; n < e.nsrc; ++n) {
+            checkKeys(tid, index, srcs[n], e.size, true,
+                      ErrorKind::UnallocatedAccess);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+}
+
+void
+AddrCheckOracle::runOnTrace(const Trace &trace)
+{
+    // Build (gseq, tid, program index) triples, then replay in true
+    // visibility order. Program indices stay program-ordered even when
+    // a relaxed model made visibility order differ (TSO store delay).
+    std::vector<IndexedEvent> merged;
+    merged.reserve(trace.instructionCount());
+    for (const ThreadTrace &tt : trace.threads) {
+        std::uint64_t index = 0;
+        for (const Event &e : tt.events) {
+            if (e.kind == EventKind::Heartbeat)
+                continue;
+            merged.push_back(IndexedEvent{e.gseq, tt.tid, index, &e});
+            ++index;
+        }
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const IndexedEvent &a, const IndexedEvent &b) {
+                         return a.gseq < b.gseq;
+                     });
+    for (const IndexedEvent &ie : merged)
+        processOne(ie.tid, ie.index, *ie.e);
+}
+
+} // namespace bfly

@@ -1,0 +1,220 @@
+#include "memmodel/interleaver.hpp"
+
+#include <deque>
+
+#include "common/logging.hpp"
+
+namespace bfly {
+
+namespace {
+
+/** True for events whose effect is a store (drains via the store buffer). */
+bool
+isStoreLike(const Event &e)
+{
+    switch (e.kind) {
+      case EventKind::Write:
+      case EventKind::Alloc:
+      case EventKind::Free:
+      case EventKind::TaintSrc:
+      case EventKind::Untaint:
+      case EventKind::Assign:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Address range(s) an event touches, for intra-thread dependences. */
+bool
+rangesOverlap(const Event &a, const Event &b)
+{
+    auto overlap1 = [](Addr base_a, std::uint16_t sz_a, Addr base_b,
+                       std::uint16_t sz_b) {
+        if (base_a == kNoAddr || base_b == kNoAddr)
+            return false;
+        const Addr end_a = base_a + (sz_a > 0 ? sz_a : 1);
+        const Addr end_b = base_b + (sz_b > 0 ? sz_b : 1);
+        return base_a < end_b && base_b < end_a;
+    };
+    Addr a_addrs[3] = {a.addr, kNoAddr, kNoAddr};
+    Addr b_addrs[3] = {b.addr, kNoAddr, kNoAddr};
+    if (a.kind == EventKind::Assign) {
+        a_addrs[1] = a.nsrc >= 1 ? a.src0 : kNoAddr;
+        a_addrs[2] = a.nsrc >= 2 ? a.src1 : kNoAddr;
+    }
+    if (b.kind == EventKind::Assign) {
+        b_addrs[1] = b.nsrc >= 1 ? b.src0 : kNoAddr;
+        b_addrs[2] = b.nsrc >= 2 ? b.src1 : kNoAddr;
+    }
+    for (Addr aa : a_addrs)
+        for (Addr bb : b_addrs)
+            if (overlap1(aa, a.size, bb, b.size))
+                return true;
+    return false;
+}
+
+} // namespace
+
+Trace
+interleave(const std::vector<std::vector<Event>> &programs,
+           const InterleaveConfig &config, Rng &rng)
+{
+    const std::size_t nthreads = programs.size();
+    ensure(nthreads > 0, "interleave needs at least one thread");
+
+    Trace trace;
+    trace.threads.resize(nthreads);
+    for (std::size_t t = 0; t < nthreads; ++t) {
+        trace.threads[t].tid = static_cast<ThreadId>(t);
+        trace.threads[t].events = programs[t];
+    }
+
+    // Per-thread cursor into the program, and (TSO) a FIFO of indices of
+    // buffered stores awaiting visibility.
+    std::vector<std::size_t> cursor(nthreads, 0);
+    std::vector<std::deque<std::size_t>> store_buffer(nthreads);
+
+    std::uint64_t gseq = 1;
+    std::size_t last_thread = nthreads;
+    std::size_t burst = 0;
+
+    auto finished = [&](std::size_t t) {
+        return cursor[t] >= programs[t].size() && store_buffer[t].empty();
+    };
+    auto at_barrier = [&](std::size_t t) {
+        return cursor[t] < programs[t].size() &&
+               programs[t][cursor[t]].kind == EventKind::Barrier;
+    };
+    /** Thread can take a scheduler step right now. */
+    auto steppable = [&](std::size_t t) {
+        if (!store_buffer[t].empty())
+            return true; // can always drain
+        return cursor[t] < programs[t].size() && !at_barrier(t);
+    };
+
+    for (;;) {
+        // Barrier release: every thread is finished, or parked at a
+        // barrier with a drained store buffer (barriers are fences).
+        bool any_parked = false;
+        bool all_parked_or_done = true;
+        for (std::size_t t = 0; t < nthreads; ++t) {
+            if (at_barrier(t) && store_buffer[t].empty()) {
+                any_parked = true;
+            } else if (!finished(t)) {
+                all_parked_or_done = false;
+            }
+        }
+        if (any_parked && all_parked_or_done) {
+            for (std::size_t t = 0; t < nthreads; ++t) {
+                if (at_barrier(t)) {
+                    trace.threads[t].events[cursor[t]].gseq = gseq++;
+                    ++cursor[t];
+                }
+            }
+            continue;
+        }
+
+        bool any = false;
+        for (std::size_t t = 0; t < nthreads; ++t)
+            any = any || steppable(t);
+        if (!any)
+            break; // all finished (or deadlocked barrier; callers emit
+                   // barriers symmetrically so this means done)
+
+        // Pick a steppable thread, honouring speed weights and the
+        // fairness bound.
+        std::size_t t;
+        for (;;) {
+            if (!config.speedWeights.empty()) {
+                double total = 0;
+                for (std::size_t u = 0; u < nthreads; ++u)
+                    if (steppable(u))
+                        total += config.speedWeights[u];
+                double pick = rng.uniform() * total;
+                t = nthreads;
+                for (std::size_t u = 0; u < nthreads; ++u) {
+                    if (!steppable(u))
+                        continue;
+                    pick -= config.speedWeights[u];
+                    if (pick <= 0) {
+                        t = u;
+                        break;
+                    }
+                }
+                if (t == nthreads)
+                    continue;
+            } else {
+                t = rng.below(nthreads);
+            }
+            if (!steppable(t))
+                continue;
+            if (config.maxBurst > 0 && t == last_thread &&
+                burst >= config.maxBurst && nthreads > 1) {
+                bool other = false;
+                for (std::size_t u = 0; u < nthreads; ++u)
+                    other = other || (u != t && steppable(u));
+                if (other)
+                    continue;
+            }
+            break;
+        }
+        if (t == last_thread) {
+            ++burst;
+        } else {
+            last_thread = t;
+            burst = 1;
+        }
+
+        auto &buf = store_buffer[t];
+        const bool must_drain =
+            cursor[t] >= programs[t].size() || at_barrier(t);
+
+        if (!buf.empty() &&
+            (must_drain || rng.chance(config.drainProbability) ||
+             buf.size() >= config.storeBufferDepth)) {
+            // Oldest buffered store becomes globally visible.
+            trace.threads[t].events[buf.front()].gseq = gseq++;
+            buf.pop_front();
+            continue;
+        }
+        if (must_drain)
+            continue;
+
+        const std::size_t i = cursor[t]++;
+        Event &e = trace.threads[t].events[i];
+        if (e.kind == EventKind::Heartbeat)
+            continue; // markers take no execution step
+
+        if (config.model == MemModel::TSO) {
+            // Intra-thread dependences are respected (paper Section 4.4
+            // assumption (i)): a TSO core forwards from its own store
+            // buffer, so any buffered store to an overlapping address
+            // must become visible no later than this event. Drain the
+            // FIFO through the last overlapping store.
+            std::size_t drain_through = 0;
+            bool found = false;
+            for (std::size_t k = 0; k < buf.size(); ++k) {
+                if (rangesOverlap(trace.threads[t].events[buf[k]], e)) {
+                    drain_through = k;
+                    found = true;
+                }
+            }
+            if (found) {
+                for (std::size_t k = 0; k <= drain_through; ++k) {
+                    trace.threads[t].events[buf.front()].gseq = gseq++;
+                    buf.pop_front();
+                }
+            }
+        }
+
+        if (config.model == MemModel::TSO && isStoreLike(e)) {
+            buf.push_back(i);
+        } else {
+            e.gseq = gseq++;
+        }
+    }
+    return trace;
+}
+
+} // namespace bfly

@@ -1,0 +1,133 @@
+#include "memmodel/valid_orderings.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hpp"
+
+namespace bfly {
+
+ValidOrderings::ValidOrderings(const EpochLayout &layout, EpochId max_epoch)
+{
+    ensure(max_epoch < layout.numEpochs(), "max_epoch out of range");
+    streams_.resize(layout.numThreads());
+    for (ThreadId t = 0; t < layout.numThreads(); ++t) {
+        streams_[t].tid = t;
+        for (EpochId l = 0; l <= max_epoch; ++l) {
+            const BlockView block = layout.block(l, t);
+            for (InstrOffset i = 0; i < block.size(); ++i) {
+                streams_[t].instrs.push_back(
+                    OrderedInstr{l, block.thread, i, block.events[i]});
+            }
+        }
+        totalInstrs_ += streams_[t].instrs.size();
+    }
+}
+
+bool
+ValidOrderings::emittable(const std::vector<std::size_t> &cursor,
+                          std::size_t thread) const
+{
+    const auto &instrs = streams_[thread].instrs;
+    if (cursor[thread] >= instrs.size())
+        return false;
+    const EpochId l = instrs[cursor[thread]].l;
+    if (l < 2)
+        return true;
+    // Every instruction of epoch <= l-2, in every thread, must be emitted.
+    for (std::size_t u = 0; u < streams_.size(); ++u) {
+        const auto &other = streams_[u].instrs;
+        if (cursor[u] < other.size() && other[cursor[u]].l <= l - 2)
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+ValidOrderings::recurse(
+    std::vector<std::size_t> &cursor, std::vector<OrderedInstr> &prefix,
+    const std::function<bool(const std::vector<OrderedInstr> &)> &visit,
+    bool &aborted) const
+{
+    if (prefix.size() == totalInstrs_) {
+        if (!visit(prefix))
+            aborted = true;
+        return 1;
+    }
+    std::uint64_t total = 0;
+    for (std::size_t t = 0; t < streams_.size() && !aborted; ++t) {
+        if (!emittable(cursor, t))
+            continue;
+        prefix.push_back(streams_[t].instrs[cursor[t]]);
+        ++cursor[t];
+        total += recurse(cursor, prefix, visit, aborted);
+        --cursor[t];
+        prefix.pop_back();
+    }
+    return total;
+}
+
+std::uint64_t
+ValidOrderings::forEach(
+    const std::function<bool(const std::vector<OrderedInstr> &)> &visit)
+    const
+{
+    std::vector<std::size_t> cursor(streams_.size(), 0);
+    std::vector<OrderedInstr> prefix;
+    prefix.reserve(totalInstrs_);
+    bool aborted = false;
+    return recurse(cursor, prefix, visit, aborted);
+}
+
+std::uint64_t
+ValidOrderings::count() const
+{
+    return forEach([](const std::vector<OrderedInstr> &) { return true; });
+}
+
+std::vector<OrderedInstr>
+ValidOrderings::sample(Rng &rng) const
+{
+    std::vector<std::size_t> cursor(streams_.size(), 0);
+    std::vector<OrderedInstr> order;
+    order.reserve(totalInstrs_);
+    while (order.size() < totalInstrs_) {
+        std::vector<std::size_t> candidates;
+        for (std::size_t t = 0; t < streams_.size(); ++t) {
+            if (emittable(cursor, t))
+                candidates.push_back(t);
+        }
+        ensure(!candidates.empty(), "valid ordering sampling wedged");
+        const std::size_t t = candidates[rng.below(candidates.size())];
+        order.push_back(streams_[t].instrs[cursor[t]]);
+        ++cursor[t];
+    }
+    return order;
+}
+
+bool
+ValidOrderings::isValid(const std::vector<OrderedInstr> &order)
+{
+    // Cross-thread: once an instruction of epoch m has appeared, no later
+    // instruction may belong to an epoch < m-1.
+    EpochId max_epoch_seen = 0;
+    // Per-thread program order: (l, i) must be lexicographically increasing.
+    std::map<ThreadId, std::pair<EpochId, InstrOffset>> last;
+
+    for (const OrderedInstr &instr : order) {
+        if (max_epoch_seen >= 1 && instr.l + 1 < max_epoch_seen)
+            return false;
+        max_epoch_seen = std::max(max_epoch_seen, instr.l);
+
+        auto it = last.find(instr.t);
+        if (it != last.end()) {
+            const auto &[pl, pi] = it->second;
+            if (instr.l < pl || (instr.l == pl && instr.i <= pi))
+                return false;
+        }
+        last[instr.t] = {instr.l, instr.i};
+    }
+    return true;
+}
+
+} // namespace bfly

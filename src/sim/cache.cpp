@@ -1,0 +1,73 @@
+#include "sim/cache.hpp"
+
+#include "common/logging.hpp"
+
+namespace bfly {
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config), numSets_(config.numSets()),
+      ways_(numSets_ * config.assoc)
+{
+    ensure(numSets_ > 0, "cache must have at least one set");
+}
+
+bool
+Cache::access(Addr addr)
+{
+    const Addr line = lineOf(addr);
+    const std::size_t base = setOf(line) * config_.assoc;
+    ++clock_;
+
+    std::size_t victim = base;
+    for (std::size_t w = base; w < base + config_.assoc; ++w) {
+        if (ways_[w].valid && ways_[w].tag == line) {
+            ways_[w].lastUse = clock_;
+            ++hits_;
+            return true;
+        }
+        if (!ways_[w].valid) {
+            victim = w;
+        } else if (ways_[victim].valid &&
+                   ways_[w].lastUse < ways_[victim].lastUse) {
+            victim = w;
+        }
+    }
+    ++misses_;
+    ways_[victim] = {line, clock_, true};
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const Addr line = lineOf(addr);
+    const std::size_t base = setOf(line) * config_.assoc;
+    for (std::size_t w = base; w < base + config_.assoc; ++w) {
+        if (ways_[w].valid && ways_[w].tag == line)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    const Addr line = lineOf(addr);
+    const std::size_t base = setOf(line) * config_.assoc;
+    for (std::size_t w = base; w < base + config_.assoc; ++w) {
+        if (ways_[w].valid && ways_[w].tag == line) {
+            ways_[w].valid = false;
+            ++invalidations_;
+            return;
+        }
+    }
+}
+
+void
+Cache::flush()
+{
+    for (Way &w : ways_)
+        w.valid = false;
+}
+
+} // namespace bfly

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement.
+ *
+ * Functional-for-timing only: the model tracks which lines are resident so
+ * the CMP can charge hit/miss latencies (Table 1 of the paper); it stores no
+ * data. Invalidation hooks support the write-invalidate coherence the CMP
+ * layer implements across L1s.
+ */
+
+#ifndef BUTTERFLY_SIM_CACHE_HPP
+#define BUTTERFLY_SIM_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bfly {
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    std::size_t sizeBytes = 64 * 1024;
+    unsigned assoc = 4;
+    unsigned lineBytes = 64;
+    Cycles latency = 2;
+    /** Set-index divisor for banked caches: when an outer level selects
+     *  a bank with (line % banks), the bank must index sets with
+     *  line / banks or the bank-selection bits alias into the index. */
+    unsigned indexDivisor = 1;
+
+    std::size_t numSets() const
+    {
+        return sizeBytes / (std::size_t{assoc} * lineBytes);
+    }
+};
+
+/** One set-associative LRU cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Access the line containing @p addr, filling it on a miss.
+     * @return true on hit.
+     */
+    bool access(Addr addr);
+
+    /** True if the line containing @p addr is resident (no state change). */
+    bool probe(Addr addr) const;
+
+    /** Drop the line containing @p addr if resident. */
+    void invalidate(Addr addr);
+
+    /** Drop everything. */
+    void flush();
+
+    const CacheConfig &config() const { return config_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t invalidations() const { return invalidations_; }
+
+  private:
+    struct Way
+    {
+        Addr tag = kNoAddr;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    Addr lineOf(Addr addr) const { return addr / config_.lineBytes; }
+
+    std::size_t
+    setOf(Addr line) const
+    {
+        return (line / config_.indexDivisor) % numSets_;
+    }
+
+    CacheConfig config_;
+    std::size_t numSets_;
+    std::vector<Way> ways_;  ///< numSets_ x assoc, row-major
+    std::uint64_t clock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t invalidations_ = 0;
+};
+
+} // namespace bfly
+
+#endif // BUTTERFLY_SIM_CACHE_HPP

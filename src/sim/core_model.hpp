@@ -1,0 +1,48 @@
+/**
+ * @file
+ * In-order scalar core timing (Table 1: 1 GHz, in-order scalar).
+ *
+ * Charges one cycle per instruction plus the memory-system latency returned
+ * by the CMP for accesses; allocation calls carry the extra instructions a
+ * real malloc/free executes.
+ */
+
+#ifndef BUTTERFLY_SIM_CORE_MODEL_HPP
+#define BUTTERFLY_SIM_CORE_MODEL_HPP
+
+#include "common/types.hpp"
+#include "trace/event.hpp"
+
+namespace bfly {
+
+/** Per-event application-side cost model. */
+struct CoreModel
+{
+    /** Cycles for a non-memory instruction. */
+    Cycles baseCost = 1;
+    /** Extra instructions executed inside malloc/free themselves. */
+    Cycles allocatorOverhead = 30;
+
+    /**
+     * Application cycles for @p e given the memory-system latency
+     * @p mem_latency that the CMP charged for its access (0 if the event
+     * touches no memory).
+     */
+    Cycles
+    cost(const Event &e, Cycles mem_latency) const
+    {
+        switch (e.kind) {
+          case EventKind::Alloc:
+          case EventKind::Free:
+            return allocatorOverhead + std::max(baseCost, mem_latency);
+          case EventKind::Heartbeat:
+            return 0;
+          default:
+            return std::max(baseCost, mem_latency);
+        }
+    }
+};
+
+} // namespace bfly
+
+#endif // BUTTERFLY_SIM_CORE_MODEL_HPP

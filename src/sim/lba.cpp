@@ -1,0 +1,174 @@
+#include "sim/lba.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace bfly {
+
+namespace {
+
+/**
+ * Ring of the last @c capacity consume-completion times, so production of
+ * record i can wait for the consumption of record i-capacity (slot reuse)
+ * without storing the whole history.
+ */
+class ConsumeRing
+{
+  public:
+    explicit ConsumeRing(std::size_t capacity)
+        : ring_(capacity, 0), capacity_(capacity)
+    {}
+
+    /** Completion time of record @p i - capacity (0 if i < capacity). */
+    Cycles
+    slotFree(std::uint64_t i) const
+    {
+        if (i < capacity_)
+            return 0;
+        return ring_[(i - capacity_) % capacity_];
+    }
+
+    void
+    record(std::uint64_t i, Cycles done)
+    {
+        ring_[i % capacity_] = done;
+    }
+
+  private:
+    std::vector<Cycles> ring_;
+    std::size_t capacity_;
+};
+
+} // namespace
+
+TimingResult
+simulateSpsc(const std::vector<Cycles> &prod_cost,
+             const std::vector<Cycles> &cons_cost, std::size_t capacity)
+{
+    ensure(prod_cost.size() == cons_cost.size(),
+           "producer/consumer cost streams must align");
+    ensure(capacity > 0, "buffer capacity must be positive");
+
+    TimingResult result;
+    ConsumeRing ring(capacity);
+    Cycles produce = 0;
+    Cycles consume = 0;
+
+    for (std::uint64_t i = 0; i < prod_cost.size(); ++i) {
+        const Cycles slot_free = ring.slotFree(i);
+        const Cycles stall = slot_free > produce ? slot_free - produce : 0;
+        result.appStallCycles += stall;
+        produce = std::max(produce, slot_free) + prod_cost[i];
+        consume = std::max(consume, produce) + cons_cost[i];
+        ring.record(i, consume);
+    }
+    result.appCycles = produce;
+    result.totalCycles = consume;
+    return result;
+}
+
+TimingResult
+simulateButterfly(const ButterflyTimingInput &input)
+{
+    const std::size_t nthreads = input.costs.size();
+    ensure(nthreads > 0, "butterfly timing needs at least one thread");
+    const std::size_t nepochs = input.costs[0].size();
+    for (const auto &per_thread : input.costs) {
+        ensure(per_thread.size() == nepochs,
+               "all threads must have the same epoch count");
+    }
+    ensure(input.bufferCapacity > 0, "buffer capacity must be positive");
+
+    TimingResult result;
+
+    // Per-thread production / consumption state.
+    std::vector<ConsumeRing> rings(nthreads,
+                                   ConsumeRing(input.bufferCapacity));
+    std::vector<Cycles> produce(nthreads, 0);
+    std::vector<Cycles> consume(nthreads, 0);
+    std::vector<std::uint64_t> record_index(nthreads, 0);
+    std::vector<Cycles> lg_ready(nthreads, 0);
+
+    Cycles final_time = 0;
+
+    // Step l runs pass 1 of epoch l (if any) and pass 2 of epoch l-1.
+    for (std::size_t l = 0; l <= nepochs; ++l) {
+        std::vector<Cycles> pass1_done(nthreads, 0);
+
+        if (l < nepochs) {
+            for (std::size_t t = 0; t < nthreads; ++t) {
+                const EpochCosts &block = input.costs[t][l];
+                ensure(block.appCost.size() == block.pass1Cost.size(),
+                       "app/pass1 cost streams must align");
+                Cycles cons = std::max(consume[t], lg_ready[t]);
+                for (std::size_t k = 0; k < block.appCost.size(); ++k) {
+                    const std::uint64_t i = record_index[t]++;
+                    const Cycles slot_free = rings[t].slotFree(i);
+                    const Cycles stall =
+                        slot_free > produce[t] ? slot_free - produce[t] : 0;
+                    result.appStallCycles += stall;
+                    produce[t] = std::max(produce[t], slot_free) +
+                                 block.appCost[k];
+                    cons = std::max(cons, produce[t]) + block.pass1Cost[k];
+                    rings[t].record(i, cons);
+                }
+                consume[t] = cons;
+                pass1_done[t] = cons;
+            }
+        } else {
+            for (std::size_t t = 0; t < nthreads; ++t)
+                pass1_done[t] = std::max(consume[t], lg_ready[t]);
+        }
+
+        // Barrier after pass 1: everyone waits for the slowest thread.
+        const Cycles slowest =
+            *std::max_element(pass1_done.begin(), pass1_done.end());
+        const Cycles barrier1 = slowest + input.barrierCost;
+        for (std::size_t t = 0; t < nthreads; ++t)
+            result.barrierWaitCycles += barrier1 - pass1_done[t];
+
+        if (l == 0) {
+            for (std::size_t t = 0; t < nthreads; ++t)
+                lg_ready[t] = barrier1;
+            final_time = barrier1;
+            continue;
+        }
+
+        // Pass 2 over epoch l-1 (its wings through epoch l are complete).
+        std::vector<Cycles> pass2_done(nthreads, 0);
+        for (std::size_t t = 0; t < nthreads; ++t)
+            pass2_done[t] = barrier1 + input.costs[t][l - 1].pass2Cost;
+
+        const Cycles slowest2 =
+            *std::max_element(pass2_done.begin(), pass2_done.end());
+        Cycles barrier2 = slowest2 + input.barrierCost;
+        for (std::size_t t = 0; t < nthreads; ++t)
+            result.barrierWaitCycles += barrier2 - pass2_done[t];
+
+        // Master thread folds the epoch summary into the SOS.
+        if (l - 1 < input.sosUpdateCost.size())
+            barrier2 += input.sosUpdateCost[l - 1];
+
+        for (std::size_t t = 0; t < nthreads; ++t)
+            lg_ready[t] = barrier2;
+        final_time = barrier2;
+    }
+
+    result.totalCycles = final_time;
+    result.appCycles = *std::max_element(produce.begin(), produce.end());
+    return result;
+}
+
+TimingResult
+simulateUnmonitored(const std::vector<Cycles> &per_thread_cost)
+{
+    TimingResult result;
+    for (Cycles c : per_thread_cost) {
+        result.totalCycles = std::max(result.totalCycles, c);
+        result.appCycles = result.totalCycles;
+    }
+    return result;
+}
+
+} // namespace bfly

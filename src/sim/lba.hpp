@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Log-Based-Architectures (LBA) style coupling between application cores
+ * and lifeguard cores.
+ *
+ * In LBA (Chen et al., ISCA'08 — the platform the paper's prototype runs
+ * on), each application core streams a per-thread event log through a
+ * bounded buffer to a dedicated lifeguard core. Three timing mechanisms
+ * matter and are modeled here exactly:
+ *
+ *  1. back-pressure: the application core stalls when its log buffer is
+ *     full, so end-to-end time is lifeguard-limited when monitoring is the
+ *     bottleneck (which §7.1 says it is);
+ *  2. the butterfly two-pass structure: pass 1 consumes the log online;
+ *     pass 2 for epoch l-1 can only run after *all* threads finished pass 1
+ *     of epoch l (its wings), giving one barrier per pass per epoch;
+ *  3. per-epoch fixed costs (barrier stalls, SOS update) that amortize with
+ *     larger epochs — the mechanism behind Figure 12.
+ *
+ * The functions below are pure timing: they take per-record cycle costs
+ * (derived from the CMP cache model and the lifeguard instruction-cost
+ * model) and compute completion times with exact single-producer
+ * single-consumer bounded-queue recurrences.
+ */
+
+#ifndef BUTTERFLY_SIM_LBA_HPP
+#define BUTTERFLY_SIM_LBA_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace bfly {
+
+/** Result of a coupled producer/consumer timing simulation. */
+struct TimingResult
+{
+    /** Completion time of the whole run (lifeguard side). */
+    Cycles totalCycles = 0;
+    /** When the application side finished producing (incl. stalls). */
+    Cycles appCycles = 0;
+    /** Cycles the application spent stalled on a full log buffer. */
+    Cycles appStallCycles = 0;
+    /** Cycles lifeguard threads spent waiting at epoch barriers. */
+    Cycles barrierWaitCycles = 0;
+};
+
+/**
+ * Exact SPSC bounded-buffer pipeline timing.
+ *
+ * Record i becomes available at produce[i] and is consumed in order;
+ * production of record i cannot begin until record i-capacity has been
+ * consumed (buffer slot free). Used for the timesliced baseline (one
+ * producer core, one sequential lifeguard core, no barriers).
+ *
+ * @param prod_cost  application cycles to produce each record
+ * @param cons_cost  lifeguard cycles to consume each record
+ * @param capacity   log buffer capacity in records
+ */
+TimingResult simulateSpsc(const std::vector<Cycles> &prod_cost,
+                          const std::vector<Cycles> &cons_cost,
+                          std::size_t capacity);
+
+/** Per-(thread, epoch) cost inputs for the butterfly timing model. */
+struct EpochCosts
+{
+    /** Application cycles per record in this block (production). */
+    std::vector<Cycles> appCost;
+    /** Lifeguard pass-1 cycles per record (consumption). */
+    std::vector<Cycles> pass1Cost;
+    /** Aggregate lifeguard pass-2 cycles for this block. */
+    Cycles pass2Cost = 0;
+};
+
+/** Whole-run inputs for the butterfly timing model. */
+struct ButterflyTimingInput
+{
+    /** costs[t][l] for every thread t and epoch l (rectangular). */
+    std::vector<std::vector<EpochCosts>> costs;
+    /** Log buffer capacity in records (per thread pair). */
+    std::size_t bufferCapacity = 512;
+    /** Fixed cycles charged at each barrier crossing. */
+    Cycles barrierCost = 200;
+    /** Aggregate SOS-update cycles per epoch (master thread). */
+    std::vector<Cycles> sosUpdateCost;
+};
+
+/**
+ * Timing of parallel butterfly monitoring: T application cores each coupled
+ * to a lifeguard core by a bounded buffer; lifeguards run pass 1 of epoch l,
+ * barrier, pass 2 of epoch l-1, and the master thread folds the epoch
+ * summary into the SOS.
+ */
+TimingResult simulateButterfly(const ButterflyTimingInput &input);
+
+/**
+ * Timing of the unmonitored parallel run: per-thread production costs only,
+ * no lifeguard coupling. Total time is the slowest thread.
+ *
+ * @param per_thread_cost  sum of application cycles for each thread
+ */
+TimingResult
+simulateUnmonitored(const std::vector<Cycles> &per_thread_cost);
+
+} // namespace bfly
+
+#endif // BUTTERFLY_SIM_LBA_HPP

@@ -1,0 +1,183 @@
+#include "trace/epoch_slicer.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace bfly {
+
+EpochLayout::EpochLayout(const Trace &trace, std::size_t num_epochs,
+                         std::vector<std::vector<std::size_t>> starts,
+                         std::vector<std::vector<Event>> filtered)
+    : numEpochs_(num_epochs), starts_(std::move(starts)),
+      filtered_(std::move(filtered))
+{
+    tids_.reserve(trace.threads.size());
+    for (const ThreadTrace &t : trace.threads)
+        tids_.push_back(t.tid);
+
+    // Pad every thread to the same epoch count with empty blocks.
+    for (auto &s : starts_) {
+        while (s.size() < numEpochs_ + 1)
+            s.push_back(s.back());
+    }
+}
+
+EpochLayout
+EpochLayout::fromHeartbeats(const Trace &trace)
+{
+    std::vector<std::vector<std::size_t>> starts(trace.threads.size());
+    std::vector<std::vector<Event>> filtered(trace.threads.size());
+    std::size_t max_epochs = 0;
+
+    for (std::size_t t = 0; t < trace.threads.size(); ++t) {
+        starts[t].push_back(0);
+        for (const Event &e : trace.threads[t].events) {
+            if (e.kind == EventKind::Heartbeat)
+                starts[t].push_back(filtered[t].size());
+            else
+                filtered[t].push_back(e);
+        }
+        // Close the final (possibly heartbeat-less) block.
+        starts[t].push_back(filtered[t].size());
+        max_epochs = std::max(max_epochs, starts[t].size() - 1);
+    }
+    return EpochLayout(trace, max_epochs, std::move(starts),
+                       std::move(filtered));
+}
+
+EpochLayout
+EpochLayout::uniform(const Trace &trace, std::size_t h)
+{
+    ensure(h > 0, "uniform epoch size must be positive");
+    std::vector<std::vector<std::size_t>> starts(trace.threads.size());
+    std::vector<std::vector<Event>> filtered(trace.threads.size());
+    std::size_t max_epochs = 0;
+
+    for (std::size_t t = 0; t < trace.threads.size(); ++t) {
+        for (const Event &e : trace.threads[t].events) {
+            if (e.kind != EventKind::Heartbeat)
+                filtered[t].push_back(e);
+        }
+        const std::size_t n = filtered[t].size();
+        for (std::size_t pos = 0; ; pos += h) {
+            starts[t].push_back(std::min(pos, n));
+            if (pos >= n)
+                break;
+        }
+        max_epochs = std::max(max_epochs, starts[t].size() - 1);
+    }
+    return EpochLayout(trace, max_epochs, std::move(starts),
+                       std::move(filtered));
+}
+
+EpochLayout
+EpochLayout::byGlobalSeq(const Trace &trace, std::size_t global_h)
+{
+    ensure(global_h > 0, "global epoch size must be positive");
+    std::vector<std::vector<std::size_t>> starts(trace.threads.size());
+    std::vector<std::vector<Event>> filtered(trace.threads.size());
+    std::size_t max_epochs = 0;
+
+    for (std::size_t t = 0; t < trace.threads.size(); ++t) {
+        for (const Event &e : trace.threads[t].events) {
+            if (e.kind != EventKind::Heartbeat)
+                filtered[t].push_back(e);
+        }
+        // Epoch of event i = its gseq bucket, clamped non-decreasing so
+        // the block stays contiguous when relaxed visibility reordered
+        // gseq slightly out of program order.
+        starts[t].push_back(0);
+        EpochId current = 0;
+        for (std::size_t i = 0; i < filtered[t].size(); ++i) {
+            const std::uint64_t g =
+                filtered[t][i].gseq > 0 ? filtered[t][i].gseq - 1 : 0;
+            const EpochId epoch =
+                std::max<EpochId>(current, g / global_h);
+            while (current < epoch) {
+                starts[t].push_back(i);
+                ++current;
+            }
+        }
+        starts[t].push_back(filtered[t].size());
+        max_epochs = std::max(max_epochs, starts[t].size() - 1);
+    }
+    return EpochLayout(trace, max_epochs, std::move(starts),
+                       std::move(filtered));
+}
+
+EpochLayout
+EpochLayout::byGlobalSeqSkewed(const Trace &trace, std::size_t global_h,
+                               std::size_t max_skew, std::uint64_t seed)
+{
+    ensure(global_h > 0, "global epoch size must be positive");
+    ensure(max_skew < global_h,
+           "heartbeat skew must be below the epoch size (the paper "
+           "sizes epochs to absorb delivery skew)");
+
+    // Delivery delay of heartbeat k at thread t, deterministic in seed.
+    auto skew_of = [&](std::size_t t, EpochId k) -> std::uint64_t {
+        if (max_skew == 0)
+            return 0;
+        Rng rng(seed ^ (0x9e3779b97f4a7c15ull * (t + 1)) ^
+                (0xc2b2ae3d27d4eb4full * (k + 1)));
+        return rng.below(max_skew + 1);
+    };
+
+    std::vector<std::vector<std::size_t>> starts(trace.threads.size());
+    std::vector<std::vector<Event>> filtered(trace.threads.size());
+    std::size_t max_epochs = 0;
+
+    for (std::size_t t = 0; t < trace.threads.size(); ++t) {
+        for (const Event &e : trace.threads[t].events) {
+            if (e.kind != EventKind::Heartbeat)
+                filtered[t].push_back(e);
+        }
+        starts[t].push_back(0);
+        EpochId current = 0;
+        // Boundary of epoch k at thread t: heartbeat k's nominal time
+        // k*global_h plus its delivery delay.
+        auto boundary = [&](EpochId k) {
+            return static_cast<std::uint64_t>(k) * global_h +
+                   skew_of(t, k);
+        };
+        for (std::size_t i = 0; i < filtered[t].size(); ++i) {
+            const std::uint64_t g =
+                filtered[t][i].gseq > 0 ? filtered[t][i].gseq - 1 : 0;
+            while (g >= boundary(current + 1)) {
+                starts[t].push_back(i);
+                ++current;
+            }
+        }
+        starts[t].push_back(filtered[t].size());
+        max_epochs = std::max(max_epochs, starts[t].size() - 1);
+    }
+    return EpochLayout(trace, max_epochs, std::move(starts),
+                       std::move(filtered));
+}
+
+BlockView
+EpochLayout::block(EpochId l, ThreadId t) const
+{
+    ensure(t < starts_.size(), "thread id out of range");
+    ensure(l < numEpochs_, "epoch id out of range");
+    const auto &s = starts_[t];
+    const std::size_t begin = s[l];
+    const std::size_t end = s[l + 1];
+    return BlockView{
+        l, tids_[t],
+        std::span<const Event>(filtered_[t].data() + begin, end - begin)};
+}
+
+std::vector<BlockView>
+EpochLayout::epoch(EpochId l) const
+{
+    std::vector<BlockView> blocks;
+    blocks.reserve(starts_.size());
+    for (ThreadId t = 0; t < starts_.size(); ++t)
+        blocks.push_back(block(l, t));
+    return blocks;
+}
+
+} // namespace bfly

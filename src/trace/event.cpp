@@ -1,0 +1,42 @@
+#include "trace/event.hpp"
+
+#include <sstream>
+
+namespace bfly {
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Read:      return "read";
+      case EventKind::Write:     return "write";
+      case EventKind::Alloc:     return "alloc";
+      case EventKind::Free:      return "free";
+      case EventKind::TaintSrc:  return "taint_src";
+      case EventKind::Untaint:   return "untaint";
+      case EventKind::Assign:    return "assign";
+      case EventKind::Use:       return "use";
+      case EventKind::Heartbeat: return "heartbeat";
+      case EventKind::Barrier:   return "barrier";
+      case EventKind::Nop:       return "nop";
+    }
+    return "?";
+}
+
+std::string
+Event::toString() const
+{
+    std::ostringstream os;
+    os << eventKindName(kind);
+    if (addr != kNoAddr)
+        os << " 0x" << std::hex << addr << std::dec;
+    if (size != 0)
+        os << " [" << size << "B]";
+    if (nsrc >= 1)
+        os << " <- 0x" << std::hex << src0 << std::dec;
+    if (nsrc >= 2)
+        os << ", 0x" << std::hex << src1 << std::dec;
+    return os.str();
+}
+
+} // namespace bfly

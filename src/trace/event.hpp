@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The instruction-level application event model.
+ *
+ * A lifeguard sees one *event sequence per application thread* (Section 2 of
+ * the paper). Each event is the lifeguard-relevant abstraction of one dynamic
+ * application instruction: a memory access, an allocation call, a taint
+ * source, or a data movement between locations. Heartbeat markers injected by
+ * the logging platform delimit epochs.
+ *
+ * Events carry a global sequence number (@c gseq) stamped by the workload
+ * scheduler with the order in which the simulated machine actually executed
+ * them. The butterfly lifeguards never look at gseq across threads — that
+ * information is exactly what the paper assumes is unavailable — but the
+ * *oracle* lifeguards use it to replay the true interleaving and provide
+ * ground truth for false-positive accounting.
+ */
+
+#ifndef BUTTERFLY_TRACE_EVENT_HPP
+#define BUTTERFLY_TRACE_EVENT_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace bfly {
+
+/** Kinds of lifeguard-relevant application events. */
+enum class EventKind : std::uint8_t {
+    Read,      ///< load of [addr, addr+size)
+    Write,     ///< store to [addr, addr+size)
+    Alloc,     ///< malloc returning [addr, addr+size)
+    Free,      ///< free(addr)
+    TaintSrc,  ///< untrusted input written to [addr, addr+size)
+    Untaint,   ///< [addr, addr+size) overwritten with trusted data
+    Assign,    ///< addr := unop(src0) or binop(src0, src1); moves taint
+    Use,       ///< addr used in a critical way (jump target, format string)
+    Heartbeat, ///< epoch delimiter injected by the logging platform
+    Barrier,   ///< synchronization: all threads rendezvous (workloads use
+               ///< this to be race-free; lifeguards ignore it)
+    Nop,       ///< instruction with no lifeguard-relevant effect
+};
+
+/** Printable name of an event kind. */
+const char *eventKindName(EventKind kind);
+
+/** One dynamic application instruction as seen by a lifeguard. */
+struct Event
+{
+    EventKind kind = EventKind::Nop;
+    std::uint8_t nsrc = 0;   ///< number of valid sources (Assign only)
+    std::uint16_t size = 0;  ///< bytes touched (accesses / allocs / taint)
+    Addr addr = kNoAddr;     ///< destination or accessed address
+    Addr src0 = kNoAddr;     ///< first source (Assign)
+    Addr src1 = kNoAddr;     ///< second source (Assign)
+    std::uint64_t gseq = 0;  ///< global execution order (oracle only)
+
+    static Event
+    read(Addr a, std::uint16_t sz = 4)
+    {
+        return {EventKind::Read, 0, sz, a, kNoAddr, kNoAddr, 0};
+    }
+
+    static Event
+    write(Addr a, std::uint16_t sz = 4)
+    {
+        return {EventKind::Write, 0, sz, a, kNoAddr, kNoAddr, 0};
+    }
+
+    static Event
+    alloc(Addr a, std::uint16_t sz)
+    {
+        return {EventKind::Alloc, 0, sz, a, kNoAddr, kNoAddr, 0};
+    }
+
+    static Event
+    freeOf(Addr a, std::uint16_t sz = 0)
+    {
+        return {EventKind::Free, 0, sz, a, kNoAddr, kNoAddr, 0};
+    }
+
+    static Event
+    taintSrc(Addr a, std::uint16_t sz = 1)
+    {
+        return {EventKind::TaintSrc, 0, sz, a, kNoAddr, kNoAddr, 0};
+    }
+
+    static Event
+    untaint(Addr a, std::uint16_t sz = 1)
+    {
+        return {EventKind::Untaint, 0, sz, a, kNoAddr, kNoAddr, 0};
+    }
+
+    /** dst := unop(src). */
+    static Event
+    assign(Addr dst, Addr src)
+    {
+        return {EventKind::Assign, 1, 4, dst, src, kNoAddr, 0};
+    }
+
+    /** dst := binop(srcA, srcB). */
+    static Event
+    assign2(Addr dst, Addr src_a, Addr src_b)
+    {
+        return {EventKind::Assign, 2, 4, dst, src_a, src_b, 0};
+    }
+
+    static Event
+    use(Addr a)
+    {
+        return {EventKind::Use, 0, 1, a, kNoAddr, kNoAddr, 0};
+    }
+
+    static Event
+    heartbeat()
+    {
+        return {EventKind::Heartbeat, 0, 0, kNoAddr, kNoAddr, kNoAddr, 0};
+    }
+
+    static Event
+    barrier()
+    {
+        return {EventKind::Barrier, 0, 0, kNoAddr, kNoAddr, kNoAddr, 0};
+    }
+
+    static Event
+    nop()
+    {
+        return {EventKind::Nop, 0, 0, kNoAddr, kNoAddr, kNoAddr, 0};
+    }
+
+    /** True for events that read or write application memory. */
+    bool
+    isMemoryAccess() const
+    {
+        switch (kind) {
+          case EventKind::Read:
+          case EventKind::Write:
+          case EventKind::Assign:
+          case EventKind::Use:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /** Human-readable rendering for error reports and debugging. */
+    std::string toString() const;
+};
+
+} // namespace bfly
+
+#endif // BUTTERFLY_TRACE_EVENT_HPP

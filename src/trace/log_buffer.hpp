@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Bounded log buffer modeling the LBA per-thread log (Table 1: 8 KB).
+ *
+ * The log buffer couples an application core (producer) to its lifeguard
+ * core (consumer). When the buffer is full the application stalls — this
+ * back-pressure is what makes lifeguard processing time equal application
+ * execution time in the paper's measurements (Section 7.1). The functional
+ * payload is not stored here (the harness hands the lifeguard the events
+ * directly); this class models *occupancy* for timing.
+ */
+
+#ifndef BUTTERFLY_TRACE_LOG_BUFFER_HPP
+#define BUTTERFLY_TRACE_LOG_BUFFER_HPP
+
+#include <cstddef>
+
+#include "common/logging.hpp"
+#include "common/types.hpp"
+
+namespace bfly {
+
+/** Occupancy model of a bounded single-producer single-consumer log. */
+class LogBuffer
+{
+  public:
+    /**
+     * @param capacity_bytes  buffer size (8 KB in the paper)
+     * @param record_bytes    bytes per event record (LBA packs ~16 B/event)
+     */
+    explicit LogBuffer(std::size_t capacity_bytes = 8 * 1024,
+                       std::size_t record_bytes = 16)
+        : capacityRecords_(capacity_bytes / record_bytes)
+    {
+        ensure(capacityRecords_ > 0, "log buffer must hold >= 1 record");
+    }
+
+    std::size_t capacity() const { return capacityRecords_; }
+    std::size_t occupancy() const { return occupancy_; }
+    bool full() const { return occupancy_ >= capacityRecords_; }
+    bool empty() const { return occupancy_ == 0; }
+
+    /**
+     * Try to append one record.
+     * @return true on success; false if full (producer must stall).
+     */
+    bool
+    produce()
+    {
+        if (full()) {
+            ++producerStalls_;
+            return false;
+        }
+        ++occupancy_;
+        ++produced_;
+        return true;
+    }
+
+    /**
+     * Try to consume one record.
+     * @return true on success; false if empty (consumer idles).
+     */
+    bool
+    consume()
+    {
+        if (empty()) {
+            ++consumerIdles_;
+            return false;
+        }
+        --occupancy_;
+        ++consumed_;
+        return true;
+    }
+
+    std::uint64_t producerStalls() const { return producerStalls_; }
+    std::uint64_t consumerIdles() const { return consumerIdles_; }
+    std::uint64_t produced() const { return produced_; }
+    std::uint64_t consumed() const { return consumed_; }
+
+  private:
+    std::size_t capacityRecords_;
+    std::size_t occupancy_ = 0;
+    std::uint64_t produced_ = 0;
+    std::uint64_t consumed_ = 0;
+    std::uint64_t producerStalls_ = 0;
+    std::uint64_t consumerIdles_ = 0;
+};
+
+} // namespace bfly
+
+#endif // BUTTERFLY_TRACE_LOG_BUFFER_HPP

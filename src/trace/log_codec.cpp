@@ -1,0 +1,245 @@
+#include "trace/log_codec.hpp"
+
+#include "common/logging.hpp"
+
+namespace bfly {
+
+namespace {
+
+/** Opcode layout: kind(4) | size-follows(1) | nsrc(2) | unused(1). */
+constexpr std::uint8_t kKindMask = 0x0f;
+constexpr std::uint8_t kSizeFlag = 0x10;
+constexpr unsigned kNsrcShift = 5;
+
+/** Default size per kind (encoded only when it differs). */
+std::uint16_t
+defaultSize(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Read:
+      case EventKind::Write:
+      case EventKind::Assign:
+      case EventKind::TaintSrc:
+      case EventKind::Untaint:
+        return 8;
+      case EventKind::Use:
+        return 1;
+      default:
+        return 0;
+    }
+}
+
+bool
+hasAddress(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::Heartbeat:
+      case EventKind::Barrier:
+      case EventKind::Nop:
+        return false;
+      default:
+        return true;
+    }
+}
+
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+} // namespace
+
+void
+LogEncoder::putVarint(std::uint64_t v)
+{
+    while (v >= 0x80) {
+        bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    bytes_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void
+LogEncoder::putSignedDelta(Addr addr)
+{
+    const std::int64_t delta = static_cast<std::int64_t>(addr) -
+                               static_cast<std::int64_t>(lastAddr_);
+    putVarint(zigzag(delta));
+    lastAddr_ = addr;
+}
+
+void
+LogEncoder::encode(const Event &e)
+{
+    const auto kind = static_cast<std::uint8_t>(e.kind);
+    ensure(kind <= kKindMask, "event kind does not fit the opcode");
+
+    std::uint8_t opcode =
+        kind | (static_cast<std::uint8_t>(e.nsrc) << kNsrcShift);
+    const bool size_follows =
+        hasAddress(e.kind) && e.size != defaultSize(e.kind);
+    if (size_follows)
+        opcode |= kSizeFlag;
+    bytes_.push_back(opcode);
+
+    if (hasAddress(e.kind)) {
+        ensure(e.addr != kNoAddr, "addressed event without address");
+        putSignedDelta(e.addr);
+        if (size_follows)
+            putVarint(e.size);
+        if (e.nsrc >= 1)
+            putSignedDelta(e.src0);
+        if (e.nsrc >= 2)
+            putSignedDelta(e.src1);
+    }
+    ++count_;
+}
+
+std::uint64_t
+LogDecoder::getVarint()
+{
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    for (;;) {
+        ensure(pos_ < bytes_.size(), "truncated varint in event log");
+        const std::uint8_t b = bytes_[pos_++];
+        v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            return v;
+        shift += 7;
+        ensure(shift < 64, "overlong varint in event log");
+    }
+}
+
+Addr
+LogDecoder::getSignedDelta()
+{
+    const std::int64_t delta = unzigzag(getVarint());
+    lastAddr_ = static_cast<Addr>(
+        static_cast<std::int64_t>(lastAddr_) + delta);
+    return lastAddr_;
+}
+
+Event
+LogDecoder::decode()
+{
+    ensure(!done(), "decode past the end of the event log");
+    const std::uint8_t opcode = bytes_[pos_++];
+    Event e;
+    e.kind = static_cast<EventKind>(opcode & kKindMask);
+    e.nsrc = static_cast<std::uint8_t>(opcode >> kNsrcShift) & 0x3;
+    e.size = defaultSize(e.kind);
+
+    if (hasAddress(e.kind)) {
+        e.addr = getSignedDelta();
+        if (opcode & kSizeFlag)
+            e.size = static_cast<std::uint16_t>(getVarint());
+        if (e.nsrc >= 1)
+            e.src0 = getSignedDelta();
+        if (e.nsrc >= 2)
+            e.src1 = getSignedDelta();
+    }
+    return e;
+}
+
+std::vector<std::uint8_t>
+encodeEvents(const std::vector<Event> &events)
+{
+    LogEncoder enc;
+    for (const Event &e : events)
+        enc.encode(e);
+    return enc.bytes();
+}
+
+std::vector<Event>
+decodeEvents(std::span<const std::uint8_t> bytes)
+{
+    LogDecoder dec(bytes);
+    std::vector<Event> events;
+    while (!dec.done())
+        events.push_back(dec.decode());
+    return events;
+}
+
+Trace
+withHeartbeatMarkers(const Trace &trace, const EpochLayout &layout)
+{
+    Trace out;
+    out.threads.resize(trace.numThreads());
+    for (ThreadId t = 0; t < trace.numThreads(); ++t) {
+        out.threads[t].tid = trace.threads[t].tid;
+        auto &events = out.threads[t].events;
+        for (EpochId l = 0; l < layout.numEpochs(); ++l) {
+            const BlockView block = layout.block(l, t);
+            events.insert(events.end(), block.events.begin(),
+                          block.events.end());
+            if (l + 1 < layout.numEpochs())
+                events.push_back(Event::heartbeat());
+        }
+    }
+    return out;
+}
+
+namespace {
+constexpr std::uint32_t kLogMagic = 0xb77e72f1; // "butterfly" log
+}
+
+bool
+saveTrace(const Trace &trace, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    auto put32 = [&](std::uint32_t v) {
+        std::fwrite(&v, sizeof v, 1, f);
+    };
+    put32(kLogMagic);
+    put32(static_cast<std::uint32_t>(trace.numThreads()));
+    for (const ThreadTrace &tt : trace.threads) {
+        const auto bytes = encodeEvents(tt.events);
+        put32(tt.tid);
+        put32(static_cast<std::uint32_t>(bytes.size()));
+        std::fwrite(bytes.data(), 1, bytes.size(), f);
+    }
+    return std::fclose(f) == 0;
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open trace file: " + path);
+    auto get32 = [&]() {
+        std::uint32_t v = 0;
+        if (std::fread(&v, sizeof v, 1, f) != 1)
+            fatal("truncated trace file: " + path);
+        return v;
+    };
+    if (get32() != kLogMagic)
+        fatal("not a butterfly trace file: " + path);
+    Trace trace;
+    const std::uint32_t nthreads = get32();
+    trace.threads.resize(nthreads);
+    for (std::uint32_t t = 0; t < nthreads; ++t) {
+        trace.threads[t].tid = get32();
+        const std::uint32_t len = get32();
+        std::vector<std::uint8_t> bytes(len);
+        if (len && std::fread(bytes.data(), 1, len, f) != len)
+            fatal("truncated trace file: " + path);
+        trace.threads[t].events = decodeEvents(bytes);
+    }
+    std::fclose(f);
+    return trace;
+}
+
+} // namespace bfly

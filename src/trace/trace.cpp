@@ -1,0 +1,88 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+namespace bfly {
+
+std::size_t
+ThreadTrace::instructionCount() const
+{
+    std::size_t n = 0;
+    for (const Event &e : events) {
+        if (e.kind != EventKind::Heartbeat)
+            ++n;
+    }
+    return n;
+}
+
+std::size_t
+ThreadTrace::memoryAccessCount() const
+{
+    std::size_t n = 0;
+    for (const Event &e : events) {
+        if (e.isMemoryAccess())
+            ++n;
+    }
+    return n;
+}
+
+std::size_t
+Trace::instructionCount() const
+{
+    std::size_t n = 0;
+    for (const ThreadTrace &t : threads)
+        n += t.instructionCount();
+    return n;
+}
+
+std::size_t
+Trace::memoryAccessCount() const
+{
+    std::size_t n = 0;
+    for (const ThreadTrace &t : threads)
+        n += t.memoryAccessCount();
+    return n;
+}
+
+std::vector<std::pair<ThreadId, Event>>
+Trace::serializedByGseq() const
+{
+    std::vector<std::pair<ThreadId, Event>> merged;
+    for (const ThreadTrace &t : threads) {
+        for (const Event &e : t.events) {
+            if (e.kind != EventKind::Heartbeat)
+                merged.emplace_back(t.tid, e);
+        }
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second.gseq < b.second.gseq;
+                     });
+    return merged;
+}
+
+std::vector<std::pair<ThreadId, Event>>
+Trace::serializedRoundRobin(std::size_t quantum) const
+{
+    std::vector<std::pair<ThreadId, Event>> merged;
+    std::vector<std::size_t> cursor(threads.size(), 0);
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (std::size_t t = 0; t < threads.size(); ++t) {
+            const auto &events = threads[t].events;
+            for (std::size_t q = 0; q < quantum && cursor[t] < events.size();
+                 ++cursor[t]) {
+                const Event &e = events[cursor[t]];
+                if (e.kind != EventKind::Heartbeat) {
+                    merged.emplace_back(threads[t].tid, e);
+                    ++q;
+                }
+                progress = true;
+            }
+        }
+    }
+    return merged;
+}
+
+} // namespace bfly

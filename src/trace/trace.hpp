@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-thread dynamic traces and the whole-program trace container.
+ *
+ * A Trace is the input to every monitoring mode: the butterfly lifeguards
+ * consume the per-thread sequences independently (plus heartbeats), the
+ * timesliced baseline consumes a serialized merge, and the oracles consume
+ * the true interleaving recovered from the events' global sequence numbers.
+ */
+
+#ifndef BUTTERFLY_TRACE_TRACE_HPP
+#define BUTTERFLY_TRACE_TRACE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace bfly {
+
+/** The dynamic event sequence of a single application thread. */
+struct ThreadTrace
+{
+    ThreadId tid = 0;
+    std::vector<Event> events;
+
+    /** Events excluding heartbeat markers. */
+    std::size_t instructionCount() const;
+
+    /** Memory-access events (the denominator of the paper's Fig. 13). */
+    std::size_t memoryAccessCount() const;
+};
+
+/** A complete multithreaded program trace. */
+struct Trace
+{
+    std::vector<ThreadTrace> threads;
+
+    std::size_t numThreads() const { return threads.size(); }
+
+    std::size_t instructionCount() const;
+    std::size_t memoryAccessCount() const;
+
+    /**
+     * Merge all threads into the actual execution order, sorted by the
+     * events' global sequence numbers. Heartbeats are dropped.
+     * @return vector of (tid, event) in execution order.
+     */
+    std::vector<std::pair<ThreadId, Event>> serializedByGseq() const;
+
+    /**
+     * Merge all threads round-robin (one event at a time), the way a
+     * timesliced monitor on one core would see them if the OS rotated
+     * threads at every quantum boundary. Heartbeats are dropped.
+     */
+    std::vector<std::pair<ThreadId, Event>>
+    serializedRoundRobin(std::size_t quantum = 1) const;
+};
+
+} // namespace bfly
+
+#endif // BUTTERFLY_TRACE_TRACE_HPP

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * BARNES-like workload (Splash-2 n-body, Barnes-Hut).
+ *
+ * Structure reproduced: timesteps that (1) build a shared tree from many
+ * small node allocations made concurrently by all threads, (2) compute
+ * forces by traversing the tree — reading nodes allocated by *other*
+ * threads — and updating private bodies, then (3) tear the tree down.
+ *
+ * The temporal layout preserves the real benchmark's ratio of phase
+ * length to epoch length: cross-thread traversal reads sit roughly half
+ * a timestep away from the build allocations and the teardown frees, so
+ * they are strictly ordered when the epoch is much shorter than a
+ * timestep, but potentially concurrent (flagged) when the epoch grows
+ * to timestep scale — the Figure 13 sensitivity.
+ */
+
+#include "workloads/workload.hpp"
+
+namespace bfly {
+
+Workload
+makeBarnes(const WorkloadConfig &config)
+{
+    const unsigned T = config.numThreads;
+    ProgramBuilder b(config, 0x10000000, 48 * 1024 * 1024);
+
+    const std::size_t node_bytes = 64;
+    const std::size_t nodes_per_thread =
+        std::max<std::size_t>(16, config.phaseEvents / 18);
+    const std::size_t interactions =
+        std::max<std::size_t>(32, config.phaseEvents / 7);
+    const std::size_t body_bytes = 60 * 1024;
+    /** Force-evaluation phases per tree rebuild. Real BARNES rebuilds
+     *  every timestep, but a timestep is millions of instructions; the
+     *  scaled-down equivalent amortizes the rebuild over several force
+     *  phases to preserve the churn-per-epoch ratio. */
+    const std::size_t phases_per_rebuild = 30;
+
+    // Private body arrays, allocated once up front by their owners.
+    std::vector<Addr> bodies(T);
+    for (ThreadId t = 0; t < T; ++t)
+        bodies[t] = b.malloc(t, body_bytes);
+    b.barrier();
+    for (ThreadId t = 0; t < T; ++t)
+        b.nop(t, config.warmupNops); // sequential-init spacer
+    b.barrier();
+
+    std::vector<std::vector<Addr>> nodes(T);
+    while (!b.budgetExhausted()) {
+        // Phase 1: tree build — many small concurrent allocations.
+        for (ThreadId t = 0; t < T; ++t) {
+            nodes[t].clear();
+            for (std::size_t k = 0; k < nodes_per_thread; ++k) {
+                const Addr node = b.malloc(t, node_bytes);
+                nodes[t].push_back(node);
+                b.write(t, node, 8);        // center of mass
+                b.write(t, node + 32, 8);   // child pointers
+                b.nop(t);
+            }
+        }
+        b.barrier();
+
+        for (std::size_t phase = 0;
+             phase < phases_per_rebuild && !b.budgetExhausted();
+             ++phase) {
+        // Phase 2: force computation — traversals read nodes from every
+        // thread's share of the tree; body updates stay private. This is
+        // the long phase: it dominates the timestep, so most traversal
+        // reads are far (in events) from the build and the teardown.
+        for (ThreadId t = 0; t < T; ++t) {
+            std::size_t body_cursor = b.rng().below(body_bytes / 32);
+            for (std::size_t k = 0; k < interactions; ++k) {
+                const bool cross = b.rng().chance(0.01);
+                const ThreadId owner =
+                    cross ? static_cast<ThreadId>(b.rng().below(T)) : t;
+                const auto &pool = nodes[owner];
+                const Addr node = pool[b.rng().below(pool.size())];
+                b.read(t, node, 8);
+                b.read(t, node + 32, 8);
+                // Bodies are updated in order (the real code walks the
+                // thread's body list): good spatial locality.
+                body_cursor = (body_cursor + 1) % (body_bytes / 32);
+                const Addr body = bodies[t] + 32 * body_cursor;
+                b.read(t, body, 8);
+                b.write(t, body, 8);
+                b.nop(t, 2); // force arithmetic
+            }
+        }
+        b.barrier();
+        }
+
+        // Phase 3: tree teardown.
+        for (ThreadId t = 0; t < T; ++t) {
+            for (Addr node : nodes[t])
+                b.free(t, node);
+        }
+        b.barrier();
+    }
+
+    for (ThreadId t = 0; t < T; ++t)
+        b.nop(t, config.warmupNops); // cooldown before teardown
+    b.barrier();
+    for (ThreadId t = 0; t < T; ++t)
+        b.free(t, bodies[t]);
+    return b.finish("barnes");
+}
+
+} // namespace bfly

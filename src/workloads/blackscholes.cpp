@@ -1,0 +1,74 @@
+/**
+ * @file
+ * BLACKSCHOLES-like workload (Parsec 2.0 option pricing).
+ *
+ * Structure reproduced: the main thread allocates the option and result
+ * arrays; after a single barrier every thread streams through its private
+ * chunk — several reads of option fields, repeated reads of a small shared
+ * constants table, a long stretch of register-only compute (Nops), one
+ * result write. No cross-thread sharing and almost no allocation activity:
+ * the embarrassingly-parallel, compute-dense profile that keeps the
+ * timesliced baseline competitive in the paper's Figure 11.
+ */
+
+#include "workloads/workload.hpp"
+
+namespace bfly {
+
+Workload
+makeBlackscholes(const WorkloadConfig &config)
+{
+    const unsigned T = config.numThreads;
+    ProgramBuilder b(config, 0x10000000, 48 * 1024 * 1024);
+
+    const std::size_t option_bytes = 48; // S, K, r, v, T, type
+    // Sized so the whole option set fits the lifeguard's idempotent
+    // filter (cheap steady-state timesliced monitoring) while one sweep
+    // exceeds an epoch (the butterfly's per-epoch filter flush voids
+    // in-epoch reuse): the profile behind its Figure 11 behaviour.
+    const std::size_t chunk_options = 64;
+    const std::size_t compute_nops = 7; // compute-dense kernel
+
+    // Main thread allocates everything (chunked per thread so blocks stay
+    // within the allocator's size cap, as real workers index one array).
+    std::vector<Addr> options(T), results(T);
+    const Addr constants = b.malloc(0, 256);
+    for (ThreadId t = 0; t < T; ++t) {
+        options[t] = b.malloc(0, chunk_options * option_bytes);
+        results[t] = b.malloc(0, chunk_options * 8);
+    }
+    for (std::size_t k = 0; k < 256; k += 8)
+        b.write(0, constants + k, 8);
+    b.barrier();
+    for (ThreadId t = 0; t < T; ++t)
+        b.nop(t, config.warmupNops); // sequential-init spacer
+    b.barrier();
+
+    std::size_t sweep = 0;
+    while (!b.budgetExhausted()) {
+        for (ThreadId t = 0; t < T; ++t) {
+            for (std::size_t i = 0; i < chunk_options; ++i) {
+                const Addr opt = options[t] + i * option_bytes;
+                b.read(t, opt, 8);      // spot
+                b.read(t, opt + 8, 8);  // strike
+                b.read(t, opt + 16, 8); // rate/volatility
+                b.read(t, constants + 8 * ((i + sweep) % 32), 8);
+                b.nop(t, compute_nops); // CNDF evaluation
+                b.write(t, results[t] + i * 8, 8);
+            }
+        }
+        ++sweep;
+    }
+
+    for (ThreadId t = 0; t < T; ++t)
+        b.nop(t, config.warmupNops); // cooldown before teardown
+    b.barrier(); // quiesce workers before the main thread tears down
+    for (ThreadId t = 0; t < T; ++t) {
+        b.free(0, options[t]);
+        b.free(0, results[t]);
+    }
+    b.free(0, constants);
+    return b.finish("blackscholes");
+}
+
+} // namespace bfly

@@ -1,0 +1,71 @@
+#include "workloads/bugs.hpp"
+
+#include "common/logging.hpp"
+
+namespace bfly {
+
+std::vector<InjectedBug>
+injectBugs(Workload &workload, BugKind kind, std::size_t count, Rng &rng)
+{
+    std::vector<InjectedBug> planted;
+    const unsigned T =
+        static_cast<unsigned>(workload.programs.size());
+
+    // A fresh address region outside the workload's heap for
+    // never-allocated accesses; inside it for planted alloc sequences.
+    Addr wild = workload.heapLimit + 0x1000;
+
+    for (std::size_t n = 0; n < count; ++n) {
+        const ThreadId t = static_cast<ThreadId>(rng.below(T));
+        auto &prog = workload.programs[t];
+        const std::size_t pos =
+            prog.empty() ? 0 : rng.below(prog.size());
+        auto at = prog.begin() + pos;
+
+        switch (kind) {
+          case BugKind::UseAfterFree: {
+            // alloc; write; free; read  — the read is the bug.
+            const Addr a = wild;
+            wild += 64;
+            Event seq[4] = {Event::alloc(a, 32), Event::write(a, 8),
+                            Event::freeOf(a, 32), Event::read(a, 8)};
+            prog.insert(at, seq, seq + 4);
+            planted.push_back({kind, t, a});
+            break;
+          }
+          case BugKind::UnallocatedAccess: {
+            const Addr a = wild;
+            wild += 64;
+            prog.insert(at, Event::read(a, 8));
+            planted.push_back({kind, t, a});
+            break;
+          }
+          case BugKind::DoubleFree: {
+            const Addr a = wild;
+            wild += 64;
+            Event seq[3] = {Event::alloc(a, 32), Event::freeOf(a, 32),
+                            Event::freeOf(a, 32)};
+            prog.insert(at, seq, seq + 3);
+            planted.push_back({kind, t, a});
+            break;
+          }
+          case BugKind::TaintedJump: {
+            const Addr a = wild;
+            wild += 64;
+            Event assign = Event::assign(a + 8, a);
+            assign.size = 8;
+            Event seq[3] = {Event::taintSrc(a, 8), assign,
+                            Event::use(a + 8)};
+            prog.insert(at, seq, seq + 3);
+            planted.push_back({kind, t, a + 8});
+            break;
+          }
+        }
+    }
+    // Injected sequences live past heapLimit; widen the monitored window
+    // so lifeguards see them.
+    workload.heapLimit = wild;
+    return planted;
+}
+
+} // namespace bfly

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Bug injection for false-negative testing.
+ *
+ * Theorems 6.1/6.2 promise the butterfly lifeguards flag every error the
+ * exact oracle flags. These helpers plant real bugs into generated
+ * workloads so the test suite can assert the bugs are (a) caught by the
+ * oracle and (b) never missed by the butterfly lifeguard.
+ */
+
+#ifndef BUTTERFLY_WORKLOADS_BUGS_HPP
+#define BUTTERFLY_WORKLOADS_BUGS_HPP
+
+#include "workloads/workload.hpp"
+
+namespace bfly {
+
+/** Kinds of bugs that can be injected. */
+enum class BugKind {
+    UseAfterFree,      ///< read of a block after its free
+    UnallocatedAccess, ///< read of memory that was never allocated
+    DoubleFree,        ///< second free of the same block
+    TaintedJump,       ///< taint flows uncleaned into a Use
+};
+
+/** Where a bug was planted (for assertions). */
+struct InjectedBug
+{
+    BugKind kind;
+    ThreadId tid;
+    Addr addr;
+};
+
+/**
+ * Plant @p count bugs of kind @p kind into @p workload at positions drawn
+ * from @p rng. Returns descriptors of what was planted. The injected
+ * sequences are intra-thread (alloc...free...access on one thread), so
+ * they are errors under *every* interleaving and the oracle is guaranteed
+ * to flag them.
+ */
+std::vector<InjectedBug> injectBugs(Workload &workload, BugKind kind,
+                                    std::size_t count, Rng &rng);
+
+} // namespace bfly
+
+#endif // BUTTERFLY_WORKLOADS_BUGS_HPP

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * FFT-like workload (Splash-2 radix-sqrt(n) FFT).
+ *
+ * Structure reproduced: a large shared matrix partitioned across threads,
+ * alternating local butterfly phases (streaming reads/writes of the
+ * thread's own partition) with transpose phases that read every *other*
+ * thread's partition, separated by barriers. Each phase allocates and
+ * frees a per-thread scratch buffer.
+ */
+
+#include "workloads/workload.hpp"
+
+namespace bfly {
+
+Workload
+makeFft(const WorkloadConfig &config)
+{
+    const unsigned T = config.numThreads;
+    ProgramBuilder b(config, 0x10000000, 48 * 1024 * 1024);
+
+    const std::size_t partition_bytes = 56 * 1024; // streaming footprint
+    const std::size_t stride = 16;
+    const std::size_t elems = partition_bytes / stride;
+    const std::size_t scratch_bytes = 4 * 1024;
+    const std::size_t work_per_phase =
+        std::max<std::size_t>(64, config.phaseEvents / 4);
+
+    // Each thread owns one contiguous partition of the shared matrix.
+    std::vector<Addr> partition(T);
+    for (ThreadId t = 0; t < T; ++t)
+        partition[t] = b.malloc(t, partition_bytes);
+    b.barrier();
+    for (ThreadId t = 0; t < T; ++t)
+        b.nop(t, config.warmupNops);
+    b.barrier();
+
+    std::size_t phase = 0;
+    while (!b.budgetExhausted()) {
+        // Allocate every thread's scratch before any is freed so that
+        // first-fit reuse of a freed scratch address by another thread
+        // is always barrier-separated (keeps the workload race-free).
+        std::vector<Addr> scratches(T);
+        for (ThreadId t = 0; t < T; ++t)
+            scratches[t] = b.malloc(t, scratch_bytes);
+        for (ThreadId t = 0; t < T; ++t) {
+            const Addr scratch = scratches[t];
+            if (phase % 2 == 0) {
+                // Local butterfly pass: stream through own partition.
+                for (std::size_t k = 0; k < work_per_phase; ++k) {
+                    const Addr e = partition[t] +
+                                   stride * ((phase * 61 + k) % elems);
+                    b.read(t, e, 8);
+                    b.write(t, e, 8);
+                    b.write(t, scratch + stride * (k % 64), 8);
+                    b.nop(t);
+                }
+            } else {
+                // Transpose: gather elements from every partition.
+                for (std::size_t k = 0; k < work_per_phase; ++k) {
+                    const ThreadId owner =
+                        static_cast<ThreadId>((t + k) % T);
+                    const Addr src = partition[owner] +
+                                     stride * ((k * T + t) % elems);
+                    b.read(t, src, 8);
+                    b.write(t,
+                            partition[t] + stride * ((k * 7) % elems), 8);
+                    b.nop(t);
+                }
+            }
+        }
+        for (ThreadId t = 0; t < T; ++t)
+            b.free(t, scratches[t]);
+        b.barrier();
+        ++phase;
+    }
+
+    for (ThreadId t = 0; t < T; ++t)
+        b.nop(t, config.warmupNops);
+    b.barrier();
+    for (ThreadId t = 0; t < T; ++t)
+        b.free(t, partition[t]);
+    return b.finish("fft");
+}
+
+} // namespace bfly

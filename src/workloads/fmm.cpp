@@ -1,0 +1,87 @@
+/**
+ * @file
+ * FMM-like workload (Splash-2 fast multipole method).
+ *
+ * Structure reproduced: a grid of cells allocated once and owned per
+ * thread; per-timestep construction of interaction lists (small transient
+ * allocations), multipole evaluation reading mostly *neighbouring*
+ * threads' cells (locality-limited sharing, unlike BARNES' all-to-all
+ * traversals), and private particle updates.
+ */
+
+#include "workloads/workload.hpp"
+
+namespace bfly {
+
+Workload
+makeFmm(const WorkloadConfig &config)
+{
+    const unsigned T = config.numThreads;
+    ProgramBuilder b(config, 0x10000000, 48 * 1024 * 1024);
+
+    const std::size_t cells_per_thread = 24;
+    const std::size_t cell_bytes = 2048;
+    const std::size_t list_bytes = 512;
+    const std::size_t evals =
+        std::max<std::size_t>(48, config.phaseEvents / 6);
+
+    std::vector<std::vector<Addr>> cells(T);
+    for (ThreadId t = 0; t < T; ++t) {
+        for (std::size_t c = 0; c < cells_per_thread; ++c) {
+            const Addr cell = b.malloc(t, cell_bytes);
+            cells[t].push_back(cell);
+            b.write(t, cell, 8);
+        }
+    }
+    b.barrier();
+    for (ThreadId t = 0; t < T; ++t)
+        b.nop(t, config.warmupNops);
+    b.barrier();
+
+    while (!b.budgetExhausted()) {
+        // Interaction-list construction: transient per-thread allocations.
+        std::vector<Addr> lists(T);
+        for (ThreadId t = 0; t < T; ++t) {
+            lists[t] = b.malloc(t, list_bytes);
+            for (std::size_t k = 0; k < 8; ++k)
+                b.write(t, lists[t] + 16 * k, 8);
+        }
+        b.barrier();
+
+        // Multipole evaluation: read own cells plus neighbours' cells.
+        for (ThreadId t = 0; t < T; ++t) {
+            for (std::size_t k = 0; k < evals; ++k) {
+                const bool neighbour = b.rng().chance(0.3);
+                const ThreadId owner =
+                    neighbour
+                        ? static_cast<ThreadId>(
+                              (t + 1 + b.rng().below(2)) % T)
+                        : t;
+                const auto &pool = cells[owner];
+                const Addr cell = pool[b.rng().below(pool.size())];
+                const Addr field = cell + 64 * (k % 32);
+                b.read(t, field, 8);
+                b.read(t, field + 8, 8);
+                b.write(t, cells[t][k % cells_per_thread] + 128, 8);
+                b.read(t, lists[t] + 16 * (k % 32), 8);
+                b.nop(t, 2);
+            }
+        }
+        b.barrier();
+
+        for (ThreadId t = 0; t < T; ++t)
+            b.free(t, lists[t]);
+        b.barrier();
+    }
+
+    for (ThreadId t = 0; t < T; ++t)
+        b.nop(t, config.warmupNops);
+    b.barrier();
+    for (ThreadId t = 0; t < T; ++t) {
+        for (Addr cell : cells[t])
+            b.free(t, cell);
+    }
+    return b.finish("fmm");
+}
+
+} // namespace bfly

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * LU-like workload (Splash-2 blocked dense LU factorization).
+ *
+ * Structure reproduced: an NB x NB grid of matrix blocks assigned to
+ * threads round-robin; iteration k factorizes the diagonal block (owner
+ * writes), then after a barrier every thread updates its blocks in row/
+ * column k reading the pivot block — cross-thread read-after-write with
+ * barrier separation — then trailing updates. Small per-iteration pivot
+ * copies add light allocation churn.
+ */
+
+#include "workloads/workload.hpp"
+
+namespace bfly {
+
+Workload
+makeLu(const WorkloadConfig &config)
+{
+    const unsigned T = config.numThreads;
+    ProgramBuilder b(config, 0x10000000, 48 * 1024 * 1024);
+
+    const std::size_t nb = 8;           // blocks per matrix dimension
+    const std::size_t block_bytes = 4096;
+    const std::size_t touches =         // samples per block update
+        std::max<std::size_t>(24, config.phaseEvents / 24);
+
+    auto owner_of = [&](std::size_t i, std::size_t j) {
+        return static_cast<ThreadId>((i * nb + j) % T);
+    };
+
+    // Blocks allocated by their owners.
+    std::vector<Addr> block(nb * nb);
+    for (std::size_t i = 0; i < nb; ++i) {
+        for (std::size_t j = 0; j < nb; ++j)
+            block[i * nb + j] = b.malloc(owner_of(i, j), block_bytes);
+    }
+    b.barrier();
+    for (ThreadId t = 0; t < T; ++t)
+        b.nop(t, config.warmupNops);
+    b.barrier();
+
+    auto touch_block = [&](ThreadId t, Addr base, bool write_back,
+                           std::size_t salt) {
+        for (std::size_t k = 0; k < touches; ++k) {
+            const Addr p = base + 8 * ((salt * 64 + k) % 512);
+            b.read(t, p, 8);
+            if (write_back)
+                b.write(t, p, 8);
+            b.nop(t);
+        }
+    };
+
+    while (!b.budgetExhausted()) {
+        for (std::size_t k = 0; k < nb && !b.budgetExhausted(); ++k) {
+            const Addr pivot = block[k * nb + k];
+            const ThreadId pivot_owner = owner_of(k, k);
+
+            // Factorize the diagonal block.
+            touch_block(pivot_owner, pivot, true, k);
+            b.barrier();
+
+            // Row/column updates: read the pivot, write own blocks.
+            // Pivot-row copies are allocated up front and freed together
+            // so first-fit address reuse stays barrier-separated.
+            std::vector<std::pair<ThreadId, Addr>> scratches;
+            for (std::size_t j = k + 1; j < nb; ++j) {
+                const ThreadId t = owner_of(k, j);
+                scratches.emplace_back(t, b.malloc(t, 256));
+            }
+            for (std::size_t j = k + 1; j < nb; ++j) {
+                const ThreadId t = owner_of(k, j);
+                touch_block(t, pivot, false, j);
+                touch_block(t, block[k * nb + j], true, j);
+
+                const ThreadId u = owner_of(j, k);
+                touch_block(u, pivot, false, j + nb);
+                touch_block(u, block[j * nb + k], true, j + nb);
+            }
+            for (const auto &[t, scratch] : scratches)
+                b.free(t, scratch);
+            b.barrier();
+
+            // Trailing submatrix update (sampled).
+            for (std::size_t i = k + 1; i < nb; ++i) {
+                const std::size_t j = k + 1 + (i % (nb - k - 1 ? nb - k - 1 : 1));
+                const std::size_t jj = j < nb ? j : nb - 1;
+                const ThreadId t = owner_of(i, jj);
+                touch_block(t, block[k * nb + jj], false, i);
+                touch_block(t, block[i * nb + k], false, i + 1);
+                touch_block(t, block[i * nb + jj], true, i + 2);
+            }
+            b.barrier();
+        }
+    }
+
+    for (ThreadId t = 0; t < T; ++t)
+        b.nop(t, config.warmupNops);
+    b.barrier();
+    for (std::size_t i = 0; i < nb * nb; ++i)
+        b.free(owner_of(i / nb, i % nb), block[i]);
+    return b.finish("lu");
+}
+
+} // namespace bfly

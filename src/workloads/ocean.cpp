@@ -1,0 +1,122 @@
+/**
+ * @file
+ * OCEAN-like workload (Splash-2 ocean simulation, contiguous partitions).
+ *
+ * Structure reproduced: a 2-D grid partitioned by rows across threads;
+ * every sweep reads the boundary data of neighbouring threads and
+ * allocates a per-iteration boundary buffer. Two realistic temporal
+ * details drive OCEAN's epoch-size sensitivity (the paper's Figure 13
+ * outlier):
+ *
+ *  - double buffering: a sweep reads the boundary buffers its neighbours
+ *    published in the *previous* iteration (one iteration of distance);
+ *  - deferred reclamation: buffers are freed a few iterations after
+ *    their last reader, after which first-fit reuse hands the same
+ *    addresses to *other* threads.
+ *
+ * With epochs much shorter than an iteration these distances order every
+ * alloc/free against its cross-thread readers; once the epoch approaches
+ * iteration scale they all become potentially concurrent and the
+ * false-positive rate jumps by orders of magnitude.
+ */
+
+#include <deque>
+
+#include "workloads/workload.hpp"
+
+namespace bfly {
+
+Workload
+makeOcean(const WorkloadConfig &config)
+{
+    const unsigned T = config.numThreads;
+    ProgramBuilder b(config, 0x10000000, 48 * 1024 * 1024);
+
+    const std::size_t row_bytes = 1024;
+    const std::size_t rows_per_thread =
+        std::max<std::size_t>(4, config.phaseEvents / 190);
+    const std::size_t sweeps_per_iteration = 2;
+    const std::size_t cols_sampled = 24; // stencil points per row sweep
+    const std::size_t stride = 40;
+    /** Iterations between a buffer's publication and its free. */
+    const std::size_t reclaim_lag = 3;
+
+    // Each thread owns a contiguous band of rows (allocated in row
+    // chunks to respect the event size field).
+    std::vector<std::vector<Addr>> band(T);
+    for (ThreadId t = 0; t < T; ++t) {
+        for (std::size_t r = 0; r < rows_per_thread; ++r)
+            band[t].push_back(b.malloc(t, row_bytes));
+    }
+    b.barrier();
+    for (ThreadId t = 0; t < T; ++t)
+        b.nop(t, config.warmupNops);
+    b.barrier();
+
+    // boundary[t] = buffers published by t, newest last.
+    std::vector<std::deque<Addr>> boundary(T);
+
+    while (!b.budgetExhausted()) {
+        // Publish this iteration's boundary buffer.
+        for (ThreadId t = 0; t < T; ++t) {
+            const Addr buf = b.malloc(t, row_bytes);
+            boundary[t].push_back(buf);
+            for (std::size_t c = 0; c < cols_sampled; ++c) {
+                b.read(t, band[t][rows_per_thread - 1] + c * stride, 8);
+                b.write(t, buf + c * stride, 8);
+            }
+        }
+        b.barrier();
+
+        // Stencil sweeps over the own band — the long phase.
+        for (ThreadId t = 0; t < T; ++t) {
+            for (std::size_t s = 0; s < sweeps_per_iteration; ++s)
+            for (std::size_t r = 0; r < rows_per_thread; ++r) {
+                for (std::size_t c = 0; c < cols_sampled; ++c) {
+                    const Addr p = band[t][r] + c * stride;
+                    b.read(t, p, 8);
+                    b.write(t, p, 8);
+                    b.nop(t, 2);
+                }
+            }
+        }
+
+        // Boundary exchange: read the buffers the neighbours published
+        // *last* iteration (double buffering).
+        for (ThreadId t = 0; t < T; ++t) {
+            const ThreadId up = (t + T - 1) % T;
+            const ThreadId down = (t + 1) % T;
+            for (const ThreadId n : {up, down}) {
+                if (boundary[n].size() >= 2) {
+                    const Addr buf =
+                        boundary[n][boundary[n].size() - 2];
+                    for (std::size_t c = 0; c < cols_sampled; ++c)
+                        b.read(t, buf + c * stride, 8);
+                }
+            }
+        }
+        b.barrier();
+
+        // Deferred reclamation of buffers older than the lag.
+        for (ThreadId t = 0; t < T; ++t) {
+            while (boundary[t].size() > reclaim_lag) {
+                b.free(t, boundary[t].front());
+                boundary[t].pop_front();
+            }
+        }
+        b.barrier();
+    }
+
+    for (ThreadId t = 0; t < T; ++t)
+        b.nop(t, config.warmupNops);
+    b.barrier();
+    for (ThreadId t = 0; t < T; ++t) {
+        for (Addr buf : boundary[t])
+            b.free(t, buf);
+        for (Addr row : band[t])
+            b.free(t, row);
+    }
+    return b.finish("ocean");
+}
+
+} // namespace bfly

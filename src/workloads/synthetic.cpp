@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Synthetic workloads for tests, property checks and ablation benches:
+ * an unstructured random mix of allocation/access activity, and a
+ * taint-propagation mix exercising TAINTCHECK's inheritance chains.
+ */
+
+#include "workloads/workload.hpp"
+
+namespace bfly {
+
+Workload
+makeRandomMix(const WorkloadConfig &config)
+{
+    const unsigned T = config.numThreads;
+    ProgramBuilder b(config, 0x10000000, 16 * 1024 * 1024);
+
+    // A rotating pool of live blocks per thread; random reads may target
+    // any thread's live blocks (benign sharing without synchronization is
+    // avoided by only reading blocks allocated before the last barrier).
+    std::vector<std::vector<Addr>> live(T), visible(T);
+
+    while (!b.budgetExhausted()) {
+        for (ThreadId t = 0; t < T; ++t) {
+            for (std::size_t step = 0; step < 64; ++step) {
+                const double dice = b.rng().uniform();
+                if (dice < 0.08) {
+                    const Addr a =
+                        b.malloc(t, 16 + 16 * b.rng().below(16));
+                    live[t].push_back(a);
+                    b.write(t, a, 8);
+                } else if (dice < 0.14 && live[t].size() > 1) {
+                    const std::size_t k = b.rng().below(live[t].size());
+                    b.free(t, live[t][k]);
+                    live[t].erase(live[t].begin() + k);
+                } else if (dice < 0.55 && !live[t].empty()) {
+                    const Addr a =
+                        live[t][b.rng().below(live[t].size())];
+                    b.read(t, a + 8 * b.rng().below(2), 8);
+                } else if (dice < 0.75 && !visible[t].empty()) {
+                    // Cross-thread read of a block published at the last
+                    // barrier (race-free by construction).
+                    const ThreadId u =
+                        static_cast<ThreadId>(b.rng().below(T));
+                    if (!visible[u].empty()) {
+                        const Addr a =
+                            visible[u][b.rng().below(visible[u].size())];
+                        b.read(t, a, 8);
+                    } else {
+                        b.nop(t);
+                    }
+                } else if (dice < 0.9 && !live[t].empty()) {
+                    const Addr a =
+                        live[t][b.rng().below(live[t].size())];
+                    b.write(t, a, 8);
+                } else {
+                    b.nop(t);
+                }
+            }
+        }
+        // Publish current live sets; blocks freed later may still be
+        // read before the next barrier... avoid that by snapshotting and
+        // never freeing published blocks until the next barrier passes:
+        // the free branch above only frees blocks allocated this round
+        // when they are not yet published (live minus visible), which we
+        // approximate by publishing *after* the frees of the round.
+        b.barrier();
+        visible = live;
+    }
+    return b.finish("random-mix");
+}
+
+Workload
+makeTaintMix(const WorkloadConfig &config)
+{
+    const unsigned T = config.numThreads;
+    ProgramBuilder b(config, 0x10000000, 4 * 1024 * 1024);
+
+    // A shared pool of scalar variables; threads taint, propagate,
+    // sanitize and use them. Writes are ownership-partitioned
+    // (var % T == t) but reads race deliberately: racy inheritance is
+    // exactly what the butterfly TAINTCHECK must handle conservatively,
+    // and the oracle replays the actual interleaving either way.
+    const std::size_t nvars = 64;
+    const Addr vars = b.malloc(0, nvars * 8);
+    b.barrier();
+
+    auto var_addr = [&](std::size_t v) { return vars + 8 * v; };
+
+    while (!b.budgetExhausted()) {
+        for (ThreadId t = 0; t < T; ++t) {
+            for (std::size_t step = 0; step < 48; ++step) {
+                const std::size_t own =
+                    (t + T * b.rng().below(nvars / T)) % nvars;
+                const double dice = b.rng().uniform();
+                Event e;
+                if (dice < 0.04) {
+                    e = Event::taintSrc(var_addr(own), 8);
+                } else if (dice < 0.3) {
+                    // Sanitization dominates tainting so taint does not
+                    // saturate the variable pool (keeps the FP studies
+                    // sensitive to window size).
+                    e = Event::untaint(var_addr(own), 8);
+                } else if (dice < 0.6) {
+                    // Mostly intra-partition dataflow with occasional
+                    // cross-thread inheritance: realistic ownership
+                    // locality (an all-to-all assign graph would let
+                    // conservative taint saturate every variable).
+                    const std::size_t src =
+                        b.rng().chance(0.15)
+                            ? b.rng().below(nvars)
+                            : (t + T * b.rng().below(nvars / T)) %
+                                  nvars;
+                    e = Event::assign(var_addr(own), var_addr(src));
+                    e.size = 8;
+                } else if (dice < 0.8) {
+                    const std::size_t s0 =
+                        (t + T * b.rng().below(nvars / T)) % nvars;
+                    const std::size_t s1 =
+                        b.rng().chance(0.15)
+                            ? b.rng().below(nvars)
+                            : (t + T * b.rng().below(nvars / T)) %
+                                  nvars;
+                    e = Event::assign2(var_addr(own), var_addr(s0),
+                                       var_addr(s1));
+                    e.size = 8;
+                } else {
+                    const std::size_t u =
+                        b.rng().chance(0.2)
+                            ? b.rng().below(nvars)
+                            : (t + T * b.rng().below(nvars / T)) %
+                                  nvars;
+                    e = Event::use(var_addr(u));
+                }
+                b.emit(t, e);
+            }
+        }
+        b.barrier();
+    }
+    return b.finish("taint-mix");
+}
+
+} // namespace bfly

@@ -1,0 +1,102 @@
+#include "workloads/workload.hpp"
+
+#include "common/logging.hpp"
+
+namespace bfly {
+
+ProgramBuilder::ProgramBuilder(const WorkloadConfig &config, Addr heap_base,
+                               std::size_t heap_size)
+    : config_(config), rng_(config.seed), heap_(heap_base, heap_size),
+      heapBase_(heap_base), heapSize_(heap_size),
+      programs_(config.numThreads)
+{
+    ensure(config_.numThreads > 0, "workload needs at least one thread");
+}
+
+void
+ProgramBuilder::read(ThreadId t, Addr addr, std::uint16_t size)
+{
+    programs_[t].push_back(Event::read(addr, size));
+}
+
+void
+ProgramBuilder::write(ThreadId t, Addr addr, std::uint16_t size)
+{
+    programs_[t].push_back(Event::write(addr, size));
+}
+
+void
+ProgramBuilder::nop(ThreadId t, std::size_t count)
+{
+    for (std::size_t k = 0; k < count; ++k)
+        programs_[t].push_back(Event::nop());
+}
+
+void
+ProgramBuilder::emit(ThreadId t, const Event &e)
+{
+    programs_[t].push_back(e);
+}
+
+Addr
+ProgramBuilder::malloc(ThreadId t, std::size_t size)
+{
+    const Addr addr = heap_.malloc(size);
+    ensure(addr != kNoAddr, "workload heap exhausted; raise heap size");
+    programs_[t].push_back(
+        Event::alloc(addr, static_cast<std::uint16_t>(size)));
+    return addr;
+}
+
+void
+ProgramBuilder::free(ThreadId t, Addr addr)
+{
+    const std::size_t size = heap_.free(addr);
+    ensure(size > 0, "workload freed an unallocated block (generator bug)");
+    programs_[t].push_back(
+        Event::freeOf(addr, static_cast<std::uint16_t>(size)));
+}
+
+void
+ProgramBuilder::barrier()
+{
+    for (auto &p : programs_)
+        p.push_back(Event::barrier());
+}
+
+bool
+ProgramBuilder::budgetExhausted() const
+{
+    for (const auto &p : programs_) {
+        if (p.size() < config_.instrPerThread)
+            return false;
+    }
+    return true;
+}
+
+Workload
+ProgramBuilder::finish(std::string name)
+{
+    Workload w;
+    w.name = std::move(name);
+    w.programs = std::move(programs_);
+    w.heapBase = heapBase_;
+    w.heapLimit = heapBase_ + heapSize_;
+    return w;
+}
+
+const std::vector<std::pair<std::string, WorkloadFactory>> &
+paperWorkloads()
+{
+    static const std::vector<std::pair<std::string, WorkloadFactory>> reg{
+        {"barnes", makeBarnes},
+        {"fft", makeFft},
+        {"fmm", makeFmm},
+        {"ocean", makeOcean},
+        {"blackscholes", makeBlackscholes},
+        {"lu", makeLu},
+    };
+    return reg;
+}
+
+} // namespace bfly

@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Tests for butterfly ADDRCHECK (paper Section 6.1): the Figure 9
+ * scenarios, LSOS/isolation behaviour, and the Theorem 6.1 zero-false-
+ * negative property against SC and TSO executions of randomized workloads
+ * with injected bugs. Also checks the paper's accuracy trade-off: false
+ * positives are monotone-ish in epoch size and vanish for isolated
+ * activity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "butterfly/window.hpp"
+#include "lifeguards/addrcheck.hpp"
+#include "lifeguards/addrcheck_oracle.hpp"
+#include "memmodel/interleaver.hpp"
+#include "tests/helpers.hpp"
+#include "workloads/bugs.hpp"
+#include "workloads/workload.hpp"
+
+namespace bfly {
+namespace {
+
+AddrCheckConfig
+wideConfig()
+{
+    AddrCheckConfig cfg;
+    cfg.granularity = 8;
+    cfg.heapBase = 0;
+    cfg.heapLimit = kNoAddr;
+    return cfg;
+}
+
+struct Run
+{
+    Trace trace;
+    EpochLayout layout;
+    std::unique_ptr<ButterflyAddrCheck> check;
+};
+
+Run
+runAddrCheck(Trace trace, const AddrCheckConfig &cfg)
+{
+    Run run{std::move(trace), EpochLayout::fromHeartbeats(Trace{}), {}};
+    run.layout = EpochLayout::fromHeartbeats(run.trace);
+    run.check = std::make_unique<ButterflyAddrCheck>(run.layout, cfg);
+    WindowSchedule().run(run.layout, *run.check);
+    return run;
+}
+
+TEST(AddrCheck, CleanSequentialLifecycleNoErrors)
+{
+    auto run = runAddrCheck(test::traceOf({{
+        Event::alloc(0x100, 32),
+        Event::write(0x100, 8),
+        Event::read(0x118, 8),
+        Event::freeOf(0x100, 32),
+    }}),
+    wideConfig());
+    EXPECT_TRUE(run.check->errors().empty());
+}
+
+TEST(AddrCheck, AccessBeforeAllocationFlagged)
+{
+    auto run = runAddrCheck(test::traceOf({{
+        Event::read(0x100, 8),
+        Event::alloc(0x100, 32),
+    }}),
+    wideConfig());
+    ASSERT_EQ(run.check->errors().size(), 1u);
+    EXPECT_EQ(run.check->errors().records()[0].kind,
+              ErrorKind::UnallocatedAccess);
+}
+
+TEST(AddrCheck, UseAfterFreeFlagged)
+{
+    auto run = runAddrCheck(test::traceOf({{
+        Event::alloc(0x100, 32),
+        Event::freeOf(0x100, 32),
+        Event::read(0x100, 8),
+    }}),
+    wideConfig());
+    ASSERT_EQ(run.check->errors().size(), 1u);
+    EXPECT_EQ(run.check->errors().records()[0].kind,
+              ErrorKind::UnallocatedAccess);
+}
+
+TEST(AddrCheck, DoubleAllocAndDoubleFreeFlagged)
+{
+    auto run = runAddrCheck(test::traceOf({{
+        Event::alloc(0x100, 32),
+        Event::alloc(0x100, 32),
+        Event::freeOf(0x100, 32),
+        Event::freeOf(0x100, 32),
+    }}),
+    wideConfig());
+    ASSERT_EQ(run.check->errors().size(), 2u);
+    EXPECT_EQ(run.check->errors().records()[0].kind,
+              ErrorKind::DoubleAlloc);
+    EXPECT_EQ(run.check->errors().records()[1].kind,
+              ErrorKind::UnallocatedFree);
+}
+
+TEST(AddrCheck, Figure9ConcurrentAllocAndAccessFlagged)
+{
+    // Thread 1 allocates a in epoch j while thread 2 accesses a in the
+    // adjacent epoch j+1: potentially concurrent, must be flagged even
+    // though the actual order may have been safe.
+    auto run = runAddrCheck(test::traceOf({
+        {Event::alloc(0x100, 8), Event::heartbeat(), Event::nop()},
+        {Event::nop(), Event::heartbeat(), Event::read(0x100, 8)},
+    }),
+    wideConfig());
+    EXPECT_FALSE(run.check->errors().empty());
+    bool thread2_flagged = false;
+    for (const auto &rec : run.check->errors().records())
+        thread2_flagged = thread2_flagged || rec.tid == 1;
+    EXPECT_TRUE(thread2_flagged);
+}
+
+TEST(AddrCheck, Figure9IsolatedAllocationSafe)
+{
+    // Thread 3 allocates b with no other thread touching it, and
+    // accesses it itself in the next epoch: safe, no error (the paper's
+    // "isolated" case).
+    auto run = runAddrCheck(test::traceOf({
+        {Event::alloc(0x200, 8), Event::heartbeat(),
+         Event::read(0x200, 8)},
+        {Event::nop(), Event::heartbeat(), Event::nop()},
+        {Event::read(0x500, 8), Event::heartbeat(), Event::nop()},
+    }),
+    [] {
+        AddrCheckConfig cfg = wideConfig();
+        cfg.heapBase = 0x200;
+        cfg.heapLimit = 0x300; // 0x500 access is unmonitored
+        return cfg;
+    }());
+    EXPECT_TRUE(run.check->errors().empty());
+}
+
+TEST(AddrCheck, AllocationVisibleInSosTwoEpochsLater)
+{
+    // Alloc in epoch 0 by t0; access by t1 in epoch 2: epoch separation
+    // guarantees the order, no flag.
+    auto run = runAddrCheck(test::traceOf({
+        {Event::alloc(0x100, 8), Event::heartbeat(), Event::nop(),
+         Event::heartbeat(), Event::nop()},
+        {Event::nop(), Event::heartbeat(), Event::nop(),
+         Event::heartbeat(), Event::read(0x100, 8)},
+    }),
+    wideConfig());
+    EXPECT_TRUE(run.check->errors().empty());
+    EXPECT_TRUE(run.check->sosNow().contains(0x100 / 8));
+}
+
+TEST(AddrCheck, AdjacentEpochAccessIsFalsePositive)
+{
+    // Same as above but the access is in epoch 1: flagged (the paper's
+    // fundamental FP trade-off), and the oracle confirms it is an FP.
+    Trace trace = test::traceOf({
+        {Event::alloc(0x100, 8), Event::heartbeat(), Event::nop()},
+        {Event::nop(), Event::heartbeat(), Event::read(0x100, 8)},
+    });
+    trace.threads[0].events[0].gseq = 1; // alloc actually first
+    trace.threads[1].events[2].gseq = 5;
+    auto run = runAddrCheck(trace, wideConfig());
+    AddrCheckOracle oracle(wideConfig());
+    oracle.runOnTrace(run.trace);
+    EXPECT_TRUE(oracle.errors().empty());
+    const auto acc =
+        compareToOracle(run.check->errors(), oracle.errors(), 8);
+    EXPECT_GT(acc.falsePositives, 0u);
+    EXPECT_EQ(acc.falseNegatives, 0u);
+}
+
+TEST(AddrCheckOracle, ReplaysActualInterleavingOrder)
+{
+    // Thread 0 allocates (gseq 1) before thread 1 reads (gseq 2): clean.
+    Trace trace = test::traceOf({
+        {Event::alloc(0x100, 8)},
+        {Event::read(0x100, 8)},
+    });
+    trace.threads[0].events[0].gseq = 1;
+    trace.threads[1].events[0].gseq = 2;
+    AddrCheckOracle clean(wideConfig());
+    clean.runOnTrace(trace);
+    EXPECT_TRUE(clean.errors().empty());
+
+    // Reverse the actual order: the read becomes a real error.
+    trace.threads[0].events[0].gseq = 2;
+    trace.threads[1].events[0].gseq = 1;
+    AddrCheckOracle dirty(wideConfig());
+    dirty.runOnTrace(trace);
+    EXPECT_EQ(dirty.errors().size(), 1u);
+}
+
+TEST(AddrCheck, ParallelPassesMatchSequential)
+{
+    WorkloadConfig wcfg;
+    wcfg.numThreads = 4;
+    wcfg.instrPerThread = 2000;
+    wcfg.seed = 99;
+    Workload w = makeRandomMix(wcfg);
+    Rng rng(4242);
+    Trace trace = interleave(w.programs, InterleaveConfig{}, rng);
+    EpochLayout layout = EpochLayout::byGlobalSeq(trace, 128 * 4);
+
+    AddrCheckConfig cfg;
+    cfg.heapBase = w.heapBase;
+    cfg.heapLimit = w.heapLimit;
+
+    ButterflyAddrCheck seq(layout, cfg);
+    WindowSchedule(false).run(layout, seq);
+    ButterflyAddrCheck par(layout, cfg);
+    WindowSchedule(true).run(layout, par);
+
+    EXPECT_EQ(seq.errors().size(), par.errors().size());
+    EXPECT_EQ(seq.eventsChecked(), par.eventsChecked());
+    EXPECT_EQ(seq.sosNow().sorted(), par.sosNow().sorted());
+}
+
+// --------------------------------------------------------------------
+// Theorem 6.1: zero false negatives, SC and TSO, with injected bugs.
+// --------------------------------------------------------------------
+
+struct FnCase
+{
+    std::uint64_t seed;
+    MemModel model;
+    BugKind bug;
+};
+
+class AddrCheckZeroFn : public ::testing::TestWithParam<FnCase>
+{};
+
+TEST_P(AddrCheckZeroFn, OracleErrorsAreAlwaysCovered)
+{
+    const FnCase param = GetParam();
+
+    WorkloadConfig wcfg;
+    wcfg.numThreads = 3;
+    wcfg.instrPerThread = 1500;
+    wcfg.seed = param.seed;
+    Workload w = makeRandomMix(wcfg);
+
+    Rng bug_rng(param.seed ^ 0xbeef);
+    const auto bugs = injectBugs(w, param.bug, 4, bug_rng);
+    ASSERT_EQ(bugs.size(), 4u);
+
+    Rng rng(param.seed * 31 + 7);
+    InterleaveConfig icfg;
+    icfg.model = param.model;
+    Trace trace = interleave(w.programs, icfg, rng);
+    EpochLayout layout =
+        EpochLayout::byGlobalSeq(trace, 100 * wcfg.numThreads);
+
+    AddrCheckConfig cfg;
+    cfg.heapBase = w.heapBase;
+    cfg.heapLimit = w.heapLimit + 0x100000;
+
+    ButterflyAddrCheck butterfly(layout, cfg);
+    WindowSchedule().run(layout, butterfly);
+
+    AddrCheckOracle oracle(cfg);
+    oracle.runOnTrace(trace);
+
+    // The injected bugs are intra-thread, so the oracle must see them.
+    EXPECT_GE(oracle.errors().size(), 4u);
+
+    const auto acc =
+        compareToOracle(butterfly.errors(), oracle.errors(),
+                        cfg.granularity);
+    EXPECT_EQ(acc.falseNegatives, 0u)
+        << "butterfly missed an oracle error (seed " << param.seed
+        << ")";
+}
+
+std::vector<FnCase>
+fnCases()
+{
+    std::vector<FnCase> cases;
+    const BugKind kinds[] = {BugKind::UseAfterFree,
+                             BugKind::UnallocatedAccess,
+                             BugKind::DoubleFree};
+    const MemModel models[] = {MemModel::SequentiallyConsistent,
+                               MemModel::TSO};
+    for (std::uint64_t seed = 0; seed < 6; ++seed)
+        for (MemModel m : models)
+            for (BugKind k : kinds)
+                cases.push_back({seed, m, k});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AddrCheckZeroFn,
+                         ::testing::ValuesIn(fnCases()));
+
+// Zero FN must also hold for *clean* workloads (no spurious "misses").
+class AddrCheckCleanZeroFn
+    : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(AddrCheckCleanZeroFn, EveryPaperWorkloadUnderBothModels)
+{
+    for (const auto &[name, factory] : paperWorkloads()) {
+        WorkloadConfig wcfg;
+        wcfg.numThreads = 3;
+        wcfg.instrPerThread = 1200;
+        wcfg.seed = GetParam();
+        Workload w = factory(wcfg);
+
+        InterleaveConfig icfg;
+        icfg.model = GetParam() % 2 ? MemModel::TSO
+                                    : MemModel::SequentiallyConsistent;
+        Rng rng(GetParam() * 17 + 3);
+        Trace trace = interleave(w.programs, icfg, rng);
+        EpochLayout layout =
+            EpochLayout::byGlobalSeq(trace, 150 * wcfg.numThreads);
+
+        AddrCheckConfig cfg;
+        cfg.heapBase = w.heapBase;
+        cfg.heapLimit = w.heapLimit;
+
+        ButterflyAddrCheck butterfly(layout, cfg);
+        WindowSchedule().run(layout, butterfly);
+        AddrCheckOracle oracle(cfg);
+        oracle.runOnTrace(trace);
+
+        // Barrier-synchronized workloads are race-free: oracle is clean.
+        EXPECT_EQ(oracle.errors().size(), 0u)
+            << name << " oracle flagged a clean workload";
+        const auto acc = compareToOracle(butterfly.errors(),
+                                         oracle.errors(),
+                                         cfg.granularity);
+        EXPECT_EQ(acc.falseNegatives, 0u) << name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AddrCheckCleanZeroFn,
+                         ::testing::Range<std::uint64_t>(0, 4));
+
+TEST(AddrCheck, LargerEpochsNeverReduceToZeroWhatSmallFlags)
+{
+    // Accuracy knob (Fig. 13 direction): tiny epochs produce fewer or
+    // equal false positives than huge epochs on an allocation-heavy
+    // workload.
+    WorkloadConfig wcfg;
+    wcfg.numThreads = 4;
+    wcfg.instrPerThread = 4000;
+    wcfg.seed = 5;
+    Workload w = makeOcean(wcfg);
+    Rng rng(11);
+    Trace trace = interleave(w.programs, InterleaveConfig{}, rng);
+
+    AddrCheckConfig cfg;
+    cfg.heapBase = w.heapBase;
+    cfg.heapLimit = w.heapLimit;
+
+    auto fp_at = [&](std::size_t h) {
+        EpochLayout layout = EpochLayout::byGlobalSeq(trace, h * 4);
+        ButterflyAddrCheck butterfly(layout, cfg);
+        WindowSchedule().run(layout, butterfly);
+        AddrCheckOracle oracle(cfg);
+        oracle.runOnTrace(trace);
+        return compareToOracle(butterfly.errors(), oracle.errors(),
+                               cfg.granularity)
+            .falsePositives;
+    };
+
+    const auto fp_small = fp_at(64);
+    const auto fp_large = fp_at(2048);
+    EXPECT_LE(fp_small, fp_large);
+}
+
+} // namespace
+} // namespace bfly

@@ -1,0 +1,203 @@
+/** @file Unit tests for src/common: sets, shadow memory, heap, RNG, stats. */
+
+#include <gtest/gtest.h>
+
+#include "common/addr_set.hpp"
+#include "common/heap.hpp"
+#include "common/rng.hpp"
+#include "common/shadow_memory.hpp"
+#include "common/stats.hpp"
+
+namespace bfly {
+namespace {
+
+TEST(FlatSet, BasicOperations)
+{
+    AddrSet s{1, 2, 3};
+    EXPECT_TRUE(s.contains(1));
+    EXPECT_FALSE(s.contains(4));
+    EXPECT_EQ(s.size(), 3u);
+    s.insert(4);
+    EXPECT_TRUE(s.contains(4));
+    s.erase(1);
+    EXPECT_FALSE(s.contains(1));
+    s.clear();
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(FlatSet, UnionIntersectDifference)
+{
+    const AddrSet a{1, 2, 3};
+    const AddrSet b{2, 3, 4};
+    EXPECT_EQ(setUnion(a, b).sorted(), (std::vector<Addr>{1, 2, 3, 4}));
+    EXPECT_EQ(setIntersect(a, b).sorted(), (std::vector<Addr>{2, 3}));
+    EXPECT_EQ(setDifference(a, b).sorted(), (std::vector<Addr>{1}));
+    EXPECT_EQ(setDifference(b, a).sorted(), (std::vector<Addr>{4}));
+}
+
+TEST(FlatSet, Intersects)
+{
+    const AddrSet a{1, 2};
+    const AddrSet b{2, 9};
+    const AddrSet c{5, 6};
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_FALSE(a.intersects(c));
+    EXPECT_FALSE(AddrSet{}.intersects(a));
+}
+
+TEST(FlatSet, SubtractPicksCheaperDirection)
+{
+    AddrSet big;
+    for (Addr k = 0; k < 100; ++k)
+        big.insert(k);
+    AddrSet small{1, 50, 99, 200};
+    big.subtract(small);
+    EXPECT_EQ(big.size(), 97u);
+    small.subtract(big);
+    EXPECT_EQ(small.sorted(), (std::vector<Addr>{1, 50, 99, 200}));
+}
+
+TEST(ShadowMemory, DefaultValueWithoutAllocation)
+{
+    ShadowMemory<std::uint8_t> shadow(7);
+    EXPECT_EQ(shadow.get(0x1234), 7);
+    EXPECT_EQ(shadow.allocatedPages(), 0u);
+}
+
+TEST(ShadowMemory, SetGetAcrossPages)
+{
+    ShadowMemory<std::uint32_t> shadow(0);
+    shadow.set(5, 42);
+    shadow.set((1 << 12) + 5, 43); // second page
+    EXPECT_EQ(shadow.get(5), 42u);
+    EXPECT_EQ(shadow.get((1 << 12) + 5), 43u);
+    EXPECT_EQ(shadow.get(6), 0u);
+    EXPECT_EQ(shadow.allocatedPages(), 2u);
+}
+
+TEST(ShadowMemory, RangeOperations)
+{
+    ShadowMemory<std::uint8_t> shadow(0);
+    shadow.setRange(100, 50, 1);
+    EXPECT_TRUE(shadow.rangeEquals(100, 50, 1));
+    EXPECT_FALSE(shadow.rangeEquals(99, 2, 1));
+    shadow.clear();
+    EXPECT_EQ(shadow.get(120), 0);
+}
+
+TEST(SimHeap, AllocateAndFree)
+{
+    SimHeap heap(0x1000, 1024);
+    const Addr a = heap.malloc(100);
+    ASSERT_NE(a, kNoAddr);
+    EXPECT_EQ(a, 0x1000u);
+    EXPECT_TRUE(heap.isAllocated(a));
+    EXPECT_TRUE(heap.isAllocated(a + 99));
+    EXPECT_FALSE(heap.isAllocated(a + 104)); // rounded to 104
+    EXPECT_EQ(heap.free(a), 104u);
+    EXPECT_FALSE(heap.isAllocated(a));
+}
+
+TEST(SimHeap, DoubleFreeReturnsZero)
+{
+    SimHeap heap(0, 1024);
+    const Addr a = heap.malloc(16);
+    EXPECT_GT(heap.free(a), 0u);
+    EXPECT_EQ(heap.free(a), 0u);
+    EXPECT_EQ(heap.free(0x500), 0u); // wild free
+}
+
+TEST(SimHeap, CoalescingAllowsBigReallocation)
+{
+    SimHeap heap(0, 1024);
+    const Addr a = heap.malloc(256);
+    const Addr b = heap.malloc(256);
+    const Addr c = heap.malloc(256);
+    ASSERT_NE(c, kNoAddr);
+    heap.free(b);
+    heap.free(a);
+    heap.free(c);
+    // All three coalesce back into one block covering the whole heap.
+    EXPECT_NE(heap.malloc(1024), kNoAddr);
+}
+
+TEST(SimHeap, FirstFitReusesFreedBlocks)
+{
+    SimHeap heap(0, 1024);
+    const Addr a = heap.malloc(64);
+    heap.malloc(64);
+    heap.free(a);
+    EXPECT_EQ(heap.malloc(32), a); // hole reused first-fit
+}
+
+TEST(SimHeap, OutOfMemoryReturnsSentinel)
+{
+    SimHeap heap(0, 128);
+    EXPECT_NE(heap.malloc(100), kNoAddr);
+    EXPECT_EQ(heap.malloc(100), kNoAddr);
+}
+
+TEST(SimHeap, BytesInUseTracksAllocations)
+{
+    SimHeap heap(0, 4096);
+    EXPECT_EQ(heap.bytesInUse(), 0u);
+    const Addr a = heap.malloc(100);
+    EXPECT_EQ(heap.bytesInUse(), 104u);
+    heap.free(a);
+    EXPECT_EQ(heap.bytesInUse(), 0u);
+}
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(12345), b(12345), c(54321);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(10), 10u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 1000, 0.5, 0.05);
+}
+
+TEST(StatSet, AddGetMergeDump)
+{
+    StatSet s;
+    s.add("x");
+    s.add("x", 4);
+    EXPECT_EQ(s.get("x"), 5u);
+    EXPECT_EQ(s.get("missing"), 0u);
+    StatSet other;
+    other.add("x", 10);
+    other.add("y", 1);
+    s.merge(other);
+    EXPECT_EQ(s.get("x"), 15u);
+    EXPECT_EQ(s.get("y"), 1u);
+}
+
+TEST(Histogram, BucketsAndMean)
+{
+    Histogram h;
+    h.sample(1);
+    h.sample(2);
+    h.sample(3);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_NEAR(h.mean(), 2.0, 1e-9);
+}
+
+} // namespace
+} // namespace bfly

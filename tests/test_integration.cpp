@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Cross-module integration tests: the full pipeline (workload ->
+ * interleave -> heartbeat slicing -> butterfly lifeguard vs oracle)
+ * under combinations of memory model, epoch size, thread count and
+ * granularity, asserting the paper's end-to-end guarantees everywhere.
+ */
+
+#include <gtest/gtest.h>
+
+#include "butterfly/window.hpp"
+#include "lifeguards/addrcheck.hpp"
+#include "lifeguards/addrcheck_oracle.hpp"
+#include "lifeguards/taintcheck.hpp"
+#include "memmodel/interleaver.hpp"
+#include "workloads/bugs.hpp"
+#include "workloads/workload.hpp"
+
+namespace bfly {
+namespace {
+
+struct PipelineCase
+{
+    std::uint64_t seed;
+    unsigned threads;
+    std::size_t epoch; // per-thread epoch size
+    MemModel model;
+    unsigned granularity;
+};
+
+class PipelineSweep : public ::testing::TestWithParam<PipelineCase>
+{};
+
+TEST_P(PipelineSweep, AddrCheckGuaranteesHoldEverywhere)
+{
+    const PipelineCase p = GetParam();
+
+    WorkloadConfig wcfg;
+    wcfg.numThreads = p.threads;
+    wcfg.instrPerThread = 2500;
+    wcfg.seed = p.seed;
+    Workload w = makeRandomMix(wcfg);
+    Rng bug_rng(p.seed + 1);
+    injectBugs(w, BugKind::UseAfterFree, 2, bug_rng);
+    injectBugs(w, BugKind::DoubleFree, 2, bug_rng);
+
+    InterleaveConfig icfg;
+    icfg.model = p.model;
+    Rng rng(p.seed * 37 + 5);
+    Trace trace = interleave(w.programs, icfg, rng);
+    EpochLayout layout =
+        EpochLayout::byGlobalSeq(trace, p.epoch * p.threads);
+
+    AddrCheckConfig acfg;
+    acfg.granularity = p.granularity;
+    acfg.heapBase = w.heapBase;
+    acfg.heapLimit = w.heapLimit;
+
+    ButterflyAddrCheck butterfly(layout, acfg);
+    WindowSchedule().run(layout, butterfly);
+    AddrCheckOracle oracle(acfg);
+    oracle.runOnTrace(trace);
+
+    EXPECT_GE(oracle.errors().size(), 4u); // the injected bugs
+    const auto acc = compareToOracle(butterfly.errors(),
+                                     oracle.errors(), p.granularity);
+    EXPECT_EQ(acc.falseNegatives, 0u)
+        << "seed=" << p.seed << " threads=" << p.threads
+        << " epoch=" << p.epoch;
+}
+
+std::vector<PipelineCase>
+pipelineCases()
+{
+    std::vector<PipelineCase> cases;
+    std::uint64_t seed = 100;
+    for (unsigned threads : {2u, 3u, 5u}) {
+        for (std::size_t epoch : {32ul, 200ul, 5000ul}) {
+            for (MemModel model : {MemModel::SequentiallyConsistent,
+                                   MemModel::TSO}) {
+                cases.push_back(
+                    {seed++, threads, epoch, model,
+                     threads % 2 ? 8u : 4u});
+            }
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PipelineSweep,
+                         ::testing::ValuesIn(pipelineCases()));
+
+TEST(Integration, FalsePositivesGrowWithEpochSizeOnOcean)
+{
+    WorkloadConfig wcfg;
+    wcfg.numThreads = 4;
+    wcfg.instrPerThread = 60000;
+    wcfg.phaseEvents = 4000;
+    wcfg.warmupNops = 8000;
+    wcfg.seed = 9;
+    Workload w = makeOcean(wcfg);
+    Rng rng(21);
+    Trace trace = interleave(w.programs, InterleaveConfig{}, rng);
+
+    AddrCheckConfig acfg;
+    acfg.heapBase = w.heapBase;
+    acfg.heapLimit = w.heapLimit;
+
+    auto fp_at = [&](std::size_t h) {
+        EpochLayout layout = EpochLayout::byGlobalSeq(trace, h * 4);
+        ButterflyAddrCheck butterfly(layout, acfg);
+        WindowSchedule().run(layout, butterfly);
+        AddrCheckOracle oracle(acfg);
+        oracle.runOnTrace(trace);
+        return compareToOracle(butterfly.errors(), oracle.errors(), 8)
+            .falsePositives;
+    };
+
+    const auto fp_small = fp_at(1000);
+    const auto fp_large = fp_at(8000);
+    EXPECT_LT(fp_small, fp_large);
+    EXPECT_GT(fp_large, 0u); // OCEAN's churn must be visible at 64K-scale
+}
+
+TEST(Integration, TaintAndAddrCheckShareOneTrace)
+{
+    // Run both lifeguards over the same mixed trace: each must uphold
+    // its zero-FN contract independently.
+    WorkloadConfig wcfg;
+    wcfg.numThreads = 3;
+    wcfg.instrPerThread = 1200;
+    wcfg.seed = 4;
+    Workload w = makeTaintMix(wcfg);
+    Rng bug_rng(77);
+    injectBugs(w, BugKind::TaintedJump, 2, bug_rng);
+    injectBugs(w, BugKind::UseAfterFree, 2, bug_rng);
+
+    Rng rng(5);
+    Trace trace = interleave(w.programs, InterleaveConfig{}, rng);
+    EpochLayout layout = EpochLayout::byGlobalSeq(trace, 300);
+
+    AddrCheckConfig acfg;
+    acfg.heapBase = w.heapBase;
+    acfg.heapLimit = w.heapLimit;
+    ButterflyAddrCheck addr(layout, acfg);
+    WindowSchedule().run(layout, addr);
+    AddrCheckOracle addr_oracle(acfg);
+    addr_oracle.runOnTrace(trace);
+    EXPECT_EQ(compareToOracle(addr.errors(), addr_oracle.errors(), 8)
+                  .falseNegatives,
+              0u);
+
+    TaintCheckConfig tcfg;
+    tcfg.granularity = 8;
+    ButterflyTaintCheck taint(layout, tcfg);
+    WindowSchedule().run(layout, taint);
+    TaintCheckOracle taint_oracle(tcfg);
+    taint_oracle.runOnTrace(trace);
+    for (const auto &rec : taint_oracle.errors().records())
+        EXPECT_TRUE(taint.errors().flagged(rec.tid, rec.index));
+}
+
+class SkewedHeartbeats : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(SkewedHeartbeats, ZeroFalseNegativesSurviveDeliverySkew)
+{
+    // The paper's delivery model: heartbeats arrive with bounded skew,
+    // shifting every thread's epoch boundaries independently. The
+    // guarantees must hold for any skew the epoch size absorbs.
+    WorkloadConfig wcfg;
+    wcfg.numThreads = 3;
+    wcfg.instrPerThread = 2500;
+    wcfg.seed = GetParam();
+    Workload w = makeRandomMix(wcfg);
+    Rng bug_rng(GetParam() + 17);
+    injectBugs(w, BugKind::UseAfterFree, 3, bug_rng);
+
+    InterleaveConfig icfg;
+    icfg.model = GetParam() % 2 ? MemModel::TSO
+                                : MemModel::SequentiallyConsistent;
+    Rng rng(GetParam() * 13 + 1);
+    Trace trace = interleave(w.programs, icfg, rng);
+
+    const std::size_t H = 150 * wcfg.numThreads;
+    EpochLayout layout = EpochLayout::byGlobalSeqSkewed(
+        trace, H, H / 3, GetParam() * 7 + 5);
+
+    AddrCheckConfig acfg;
+    acfg.heapBase = w.heapBase;
+    acfg.heapLimit = w.heapLimit + 0x100000;
+
+    ButterflyAddrCheck butterfly(layout, acfg);
+    WindowSchedule().run(layout, butterfly);
+    AddrCheckOracle oracle(acfg);
+    oracle.runOnTrace(trace);
+
+    EXPECT_GE(oracle.errors().size(), 3u);
+    EXPECT_EQ(compareToOracle(butterfly.errors(), oracle.errors(),
+                              acfg.granularity)
+                  .falseNegatives,
+              0u)
+        << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkewedHeartbeats,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(Integration, EmptyBlocksFromStalledThreadsAreHandled)
+{
+    // One thread does all the work while another sleeps at a barrier:
+    // global-progress slicing yields empty blocks for the sleeper, and
+    // the analysis must run through them without issue.
+    std::vector<std::vector<Event>> programs(2);
+    programs[0].push_back(Event::alloc(0x1000, 64));
+    for (int i = 0; i < 3000; ++i)
+        programs[0].push_back(Event::write(0x1000 + 8 * (i % 8), 8));
+    programs[0].push_back(Event::barrier());
+    programs[1].push_back(Event::barrier());
+    for (int i = 0; i < 100; ++i)
+        programs[1].push_back(Event::read(0x1000, 8));
+    programs[0].push_back(Event::freeOf(0x1000, 64));
+
+    Rng rng(11);
+    Trace trace = interleave(programs, InterleaveConfig{}, rng);
+    EpochLayout layout = EpochLayout::byGlobalSeq(trace, 200);
+    EXPECT_GT(layout.numEpochs(), 5u);
+
+    AddrCheckConfig acfg;
+    ButterflyAddrCheck butterfly(layout, acfg);
+    WindowSchedule().run(layout, butterfly);
+    AddrCheckOracle oracle(acfg);
+    oracle.runOnTrace(trace);
+    EXPECT_EQ(compareToOracle(butterfly.errors(), oracle.errors(), 8)
+                  .falseNegatives,
+              0u);
+}
+
+} // namespace
+} // namespace bfly

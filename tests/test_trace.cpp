@@ -1,0 +1,207 @@
+/** @file Unit tests for src/trace: events, traces, epoch slicing, buffer. */
+
+#include <gtest/gtest.h>
+
+#include "tests/helpers.hpp"
+#include "trace/log_buffer.hpp"
+
+namespace bfly {
+namespace {
+
+TEST(Event, FactoriesAndPredicates)
+{
+    EXPECT_TRUE(Event::read(0x10).isMemoryAccess());
+    EXPECT_TRUE(Event::write(0x10).isMemoryAccess());
+    EXPECT_TRUE(Event::assign(1, 2).isMemoryAccess());
+    EXPECT_FALSE(Event::alloc(0x10, 8).isMemoryAccess());
+    EXPECT_FALSE(Event::heartbeat().isMemoryAccess());
+    EXPECT_FALSE(Event::nop().isMemoryAccess());
+    EXPECT_EQ(Event::assign2(1, 2, 3).nsrc, 2);
+}
+
+TEST(Event, ToStringMentionsKindAndAddr)
+{
+    const std::string s = Event::read(0xab, 4).toString();
+    EXPECT_NE(s.find("read"), std::string::npos);
+    EXPECT_NE(s.find("ab"), std::string::npos);
+}
+
+TEST(Trace, InstructionAndAccessCounts)
+{
+    Trace trace = test::traceOf({
+        {Event::read(1), Event::heartbeat(), Event::write(2),
+         Event::nop()},
+        {Event::alloc(0x10, 8), Event::read(0x10)},
+    });
+    EXPECT_EQ(trace.instructionCount(), 5u); // heartbeat excluded
+    EXPECT_EQ(trace.memoryAccessCount(), 3u);
+}
+
+TEST(Trace, SerializedByGseqOrdersAcrossThreads)
+{
+    Trace trace = test::traceOf({{Event::read(1)}, {Event::write(2)}});
+    trace.threads[0].events[0].gseq = 2;
+    trace.threads[1].events[0].gseq = 1;
+    const auto merged = trace.serializedByGseq();
+    ASSERT_EQ(merged.size(), 2u);
+    EXPECT_EQ(merged[0].first, 1u);
+    EXPECT_EQ(merged[1].first, 0u);
+}
+
+TEST(Trace, RoundRobinAlternatesThreads)
+{
+    Trace trace = test::traceOf({
+        {Event::read(1), Event::read(2)},
+        {Event::read(3), Event::read(4)},
+    });
+    const auto merged = trace.serializedRoundRobin(1);
+    ASSERT_EQ(merged.size(), 4u);
+    EXPECT_EQ(merged[0].second.addr, 1u);
+    EXPECT_EQ(merged[1].second.addr, 3u);
+    EXPECT_EQ(merged[2].second.addr, 2u);
+    EXPECT_EQ(merged[3].second.addr, 4u);
+}
+
+TEST(EpochLayout, FromHeartbeats)
+{
+    Trace trace = test::traceOf({
+        {Event::read(1), Event::heartbeat(), Event::read(2),
+         Event::read(3)},
+        {Event::heartbeat(), Event::read(4)},
+    });
+    const EpochLayout layout = EpochLayout::fromHeartbeats(trace);
+    EXPECT_EQ(layout.numEpochs(), 2u);
+    EXPECT_EQ(layout.block(0, 0).size(), 1u);
+    EXPECT_EQ(layout.block(1, 0).size(), 2u);
+    EXPECT_EQ(layout.block(0, 1).size(), 0u);
+    EXPECT_EQ(layout.block(1, 1).size(), 1u);
+    EXPECT_EQ(layout.block(1, 1).events[0].addr, 4u);
+}
+
+TEST(EpochLayout, PadsThreadsToSameEpochCount)
+{
+    Trace trace = test::traceOf({
+        {Event::read(1), Event::heartbeat(), Event::read(2),
+         Event::heartbeat(), Event::read(3)},
+        {Event::read(4)},
+    });
+    const EpochLayout layout = EpochLayout::fromHeartbeats(trace);
+    EXPECT_EQ(layout.numEpochs(), 3u);
+    EXPECT_EQ(layout.block(1, 1).size(), 0u);
+    EXPECT_EQ(layout.block(2, 1).size(), 0u);
+}
+
+TEST(EpochLayout, UniformSlicing)
+{
+    std::vector<Event> prog;
+    for (int i = 0; i < 10; ++i)
+        prog.push_back(Event::read(i));
+    Trace trace = test::traceOf({prog});
+    const EpochLayout layout = EpochLayout::uniform(trace, 4);
+    EXPECT_EQ(layout.numEpochs(), 3u);
+    EXPECT_EQ(layout.block(0, 0).size(), 4u);
+    EXPECT_EQ(layout.block(1, 0).size(), 4u);
+    EXPECT_EQ(layout.block(2, 0).size(), 2u);
+}
+
+TEST(EpochLayout, UniformDropsHeartbeatMarkers)
+{
+    Trace trace = test::traceOf(
+        {{Event::read(1), Event::heartbeat(), Event::read(2)}});
+    const EpochLayout layout = EpochLayout::uniform(trace, 10);
+    EXPECT_EQ(layout.numEpochs(), 1u);
+    EXPECT_EQ(layout.block(0, 0).size(), 2u);
+}
+
+TEST(EpochLayout, GlobalIndexIsStableIdentity)
+{
+    std::vector<Event> prog;
+    for (int i = 0; i < 7; ++i)
+        prog.push_back(Event::read(100 + i));
+    Trace trace = test::traceOf({prog});
+    const EpochLayout layout = EpochLayout::uniform(trace, 3);
+    EXPECT_EQ(layout.globalIndex(0, 0, 0), 0u);
+    EXPECT_EQ(layout.globalIndex(1, 0, 0), 3u);
+    EXPECT_EQ(layout.globalIndex(2, 0, 0), 6u);
+    EXPECT_EQ(layout.block(2, 0).events[0].addr, 106u);
+}
+
+TEST(EpochLayout, SkewedSlicingRespectsBounds)
+{
+    // Sequential gseq over two threads; boundaries move by at most the
+    // skew, so every event's epoch differs from its nominal epoch by at
+    // most one.
+    std::vector<std::vector<Event>> programs(2);
+    for (int i = 0; i < 400; ++i) {
+        programs[0].push_back(Event::read(0x100, 8));
+        programs[1].push_back(Event::read(0x200, 8));
+    }
+    Trace trace = test::traceOf(std::move(programs));
+    std::uint64_t g = 1;
+    for (auto &tt : trace.threads)
+        for (auto &e : tt.events)
+            e.gseq = 0; // interleave round-robin below
+    for (int i = 0; i < 400; ++i) {
+        trace.threads[0].events[i].gseq = g++;
+        trace.threads[1].events[i].gseq = g++;
+    }
+
+    const std::size_t H = 100;
+    const EpochLayout exact = EpochLayout::byGlobalSeq(trace, H);
+    const EpochLayout skewed =
+        EpochLayout::byGlobalSeqSkewed(trace, H, 40, 7);
+
+    ASSERT_GE(skewed.numEpochs(), exact.numEpochs() - 1);
+    for (ThreadId t = 0; t < 2; ++t) {
+        for (EpochId l = 0; l < skewed.numEpochs(); ++l) {
+            for (const Event &e : skewed.block(l, t).events) {
+                const EpochId nominal = (e.gseq - 1) / H;
+                EXPECT_LE(l, nominal + 1);
+                EXPECT_GE(l + 1, nominal); // l >= nominal - 1
+            }
+        }
+    }
+}
+
+TEST(EpochLayout, SkewedWithZeroSkewMatchesExact)
+{
+    std::vector<Event> prog;
+    for (int i = 0; i < 50; ++i)
+        prog.push_back(Event::read(0x100 + i, 8));
+    Trace trace = test::traceOf({prog});
+    std::uint64_t g = 1;
+    for (auto &e : trace.threads[0].events)
+        e.gseq = g++;
+    const EpochLayout a = EpochLayout::byGlobalSeq(trace, 10);
+    const EpochLayout b =
+        EpochLayout::byGlobalSeqSkewed(trace, 10, 0, 3);
+    ASSERT_EQ(a.numEpochs(), b.numEpochs());
+    for (EpochId l = 0; l < a.numEpochs(); ++l)
+        EXPECT_EQ(a.block(l, 0).size(), b.block(l, 0).size());
+}
+
+TEST(LogBuffer, CapacityFromBytes)
+{
+    LogBuffer buf(8 * 1024, 16);
+    EXPECT_EQ(buf.capacity(), 512u);
+}
+
+TEST(LogBuffer, ProduceConsumeAndStalls)
+{
+    LogBuffer buf(32, 16); // 2 records
+    EXPECT_TRUE(buf.produce());
+    EXPECT_TRUE(buf.produce());
+    EXPECT_FALSE(buf.produce()); // full
+    EXPECT_EQ(buf.producerStalls(), 1u);
+    EXPECT_TRUE(buf.consume());
+    EXPECT_TRUE(buf.produce());
+    EXPECT_TRUE(buf.consume());
+    EXPECT_TRUE(buf.consume());
+    EXPECT_FALSE(buf.consume()); // empty
+    EXPECT_EQ(buf.consumerIdles(), 1u);
+    EXPECT_EQ(buf.produced(), 3u);
+    EXPECT_EQ(buf.consumed(), 3u);
+}
+
+} // namespace
+} // namespace bfly
