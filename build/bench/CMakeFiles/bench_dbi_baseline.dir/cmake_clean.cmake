@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dbi_baseline.dir/bench_dbi_baseline.cpp.o"
+  "CMakeFiles/bench_dbi_baseline.dir/bench_dbi_baseline.cpp.o.d"
+  "bench_dbi_baseline"
+  "bench_dbi_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dbi_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

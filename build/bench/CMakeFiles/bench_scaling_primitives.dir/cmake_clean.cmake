@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_primitives.dir/bench_scaling_primitives.cpp.o"
+  "CMakeFiles/bench_scaling_primitives.dir/bench_scaling_primitives.cpp.o.d"
+  "bench_scaling_primitives"
+  "bench_scaling_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

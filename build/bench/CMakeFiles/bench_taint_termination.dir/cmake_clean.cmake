@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_taint_termination.dir/bench_taint_termination.cpp.o"
+  "CMakeFiles/bench_taint_termination.dir/bench_taint_termination.cpp.o.d"
+  "bench_taint_termination"
+  "bench_taint_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_taint_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/addrcheck_demo.dir/addrcheck_demo.cpp.o"
+  "CMakeFiles/addrcheck_demo.dir/addrcheck_demo.cpp.o.d"
+  "addrcheck_demo"
+  "addrcheck_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/addrcheck_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoch_tuning.dir/epoch_tuning.cpp.o"
+  "CMakeFiles/epoch_tuning.dir/epoch_tuning.cpp.o.d"
+  "epoch_tuning"
+  "epoch_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoch_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

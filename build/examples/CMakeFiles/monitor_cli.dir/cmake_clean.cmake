@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_cli.dir/monitor_cli.cpp.o"
+  "CMakeFiles/monitor_cli.dir/monitor_cli.cpp.o.d"
+  "monitor_cli"
+  "monitor_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taintcheck_demo.dir/taintcheck_demo.cpp.o"
+  "CMakeFiles/taintcheck_demo.dir/taintcheck_demo.cpp.o.d"
+  "taintcheck_demo"
+  "taintcheck_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taintcheck_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("trace")
+subdirs("sim")
+subdirs("memmodel")
+subdirs("butterfly")
+subdirs("lifeguards")
+subdirs("workloads")
+subdirs("harness")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/butterfly/reaching_defs.cpp" "src/butterfly/CMakeFiles/bfly_butterfly.dir/reaching_defs.cpp.o" "gcc" "src/butterfly/CMakeFiles/bfly_butterfly.dir/reaching_defs.cpp.o.d"
+  "/root/repo/src/butterfly/reaching_exprs.cpp" "src/butterfly/CMakeFiles/bfly_butterfly.dir/reaching_exprs.cpp.o" "gcc" "src/butterfly/CMakeFiles/bfly_butterfly.dir/reaching_exprs.cpp.o.d"
+  "/root/repo/src/butterfly/window.cpp" "src/butterfly/CMakeFiles/bfly_butterfly.dir/window.cpp.o" "gcc" "src/butterfly/CMakeFiles/bfly_butterfly.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bfly_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bfly_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_butterfly.dir/reaching_defs.cpp.o"
+  "CMakeFiles/bfly_butterfly.dir/reaching_defs.cpp.o.d"
+  "CMakeFiles/bfly_butterfly.dir/reaching_exprs.cpp.o"
+  "CMakeFiles/bfly_butterfly.dir/reaching_exprs.cpp.o.d"
+  "CMakeFiles/bfly_butterfly.dir/window.cpp.o"
+  "CMakeFiles/bfly_butterfly.dir/window.cpp.o.d"
+  "libbfly_butterfly.a"
+  "libbfly_butterfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_butterfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

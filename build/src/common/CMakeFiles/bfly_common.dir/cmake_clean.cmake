@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_common.dir/heap.cpp.o"
+  "CMakeFiles/bfly_common.dir/heap.cpp.o.d"
+  "libbfly_common.a"
+  "libbfly_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_harness.dir/perf_model.cpp.o"
+  "CMakeFiles/bfly_harness.dir/perf_model.cpp.o.d"
+  "CMakeFiles/bfly_harness.dir/session.cpp.o"
+  "CMakeFiles/bfly_harness.dir/session.cpp.o.d"
+  "libbfly_harness.a"
+  "libbfly_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

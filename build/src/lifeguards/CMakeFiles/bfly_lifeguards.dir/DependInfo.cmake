@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lifeguards/addrcheck.cpp" "src/lifeguards/CMakeFiles/bfly_lifeguards.dir/addrcheck.cpp.o" "gcc" "src/lifeguards/CMakeFiles/bfly_lifeguards.dir/addrcheck.cpp.o.d"
+  "/root/repo/src/lifeguards/addrcheck_oracle.cpp" "src/lifeguards/CMakeFiles/bfly_lifeguards.dir/addrcheck_oracle.cpp.o" "gcc" "src/lifeguards/CMakeFiles/bfly_lifeguards.dir/addrcheck_oracle.cpp.o.d"
+  "/root/repo/src/lifeguards/defcheck.cpp" "src/lifeguards/CMakeFiles/bfly_lifeguards.dir/defcheck.cpp.o" "gcc" "src/lifeguards/CMakeFiles/bfly_lifeguards.dir/defcheck.cpp.o.d"
+  "/root/repo/src/lifeguards/report.cpp" "src/lifeguards/CMakeFiles/bfly_lifeguards.dir/report.cpp.o" "gcc" "src/lifeguards/CMakeFiles/bfly_lifeguards.dir/report.cpp.o.d"
+  "/root/repo/src/lifeguards/taintcheck.cpp" "src/lifeguards/CMakeFiles/bfly_lifeguards.dir/taintcheck.cpp.o" "gcc" "src/lifeguards/CMakeFiles/bfly_lifeguards.dir/taintcheck.cpp.o.d"
+  "/root/repo/src/lifeguards/taintcheck_oracle.cpp" "src/lifeguards/CMakeFiles/bfly_lifeguards.dir/taintcheck_oracle.cpp.o" "gcc" "src/lifeguards/CMakeFiles/bfly_lifeguards.dir/taintcheck_oracle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bfly_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bfly_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/butterfly/CMakeFiles/bfly_butterfly.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_lifeguards.dir/addrcheck.cpp.o"
+  "CMakeFiles/bfly_lifeguards.dir/addrcheck.cpp.o.d"
+  "CMakeFiles/bfly_lifeguards.dir/addrcheck_oracle.cpp.o"
+  "CMakeFiles/bfly_lifeguards.dir/addrcheck_oracle.cpp.o.d"
+  "CMakeFiles/bfly_lifeguards.dir/defcheck.cpp.o"
+  "CMakeFiles/bfly_lifeguards.dir/defcheck.cpp.o.d"
+  "CMakeFiles/bfly_lifeguards.dir/report.cpp.o"
+  "CMakeFiles/bfly_lifeguards.dir/report.cpp.o.d"
+  "CMakeFiles/bfly_lifeguards.dir/taintcheck.cpp.o"
+  "CMakeFiles/bfly_lifeguards.dir/taintcheck.cpp.o.d"
+  "CMakeFiles/bfly_lifeguards.dir/taintcheck_oracle.cpp.o"
+  "CMakeFiles/bfly_lifeguards.dir/taintcheck_oracle.cpp.o.d"
+  "libbfly_lifeguards.a"
+  "libbfly_lifeguards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_lifeguards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

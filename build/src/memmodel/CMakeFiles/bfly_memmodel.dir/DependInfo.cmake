@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memmodel/interleaver.cpp" "src/memmodel/CMakeFiles/bfly_memmodel.dir/interleaver.cpp.o" "gcc" "src/memmodel/CMakeFiles/bfly_memmodel.dir/interleaver.cpp.o.d"
+  "/root/repo/src/memmodel/valid_orderings.cpp" "src/memmodel/CMakeFiles/bfly_memmodel.dir/valid_orderings.cpp.o" "gcc" "src/memmodel/CMakeFiles/bfly_memmodel.dir/valid_orderings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bfly_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bfly_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_memmodel.dir/interleaver.cpp.o"
+  "CMakeFiles/bfly_memmodel.dir/interleaver.cpp.o.d"
+  "CMakeFiles/bfly_memmodel.dir/valid_orderings.cpp.o"
+  "CMakeFiles/bfly_memmodel.dir/valid_orderings.cpp.o.d"
+  "libbfly_memmodel.a"
+  "libbfly_memmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_memmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

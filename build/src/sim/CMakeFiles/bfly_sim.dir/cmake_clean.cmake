@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_sim.dir/cache.cpp.o"
+  "CMakeFiles/bfly_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/bfly_sim.dir/cmp.cpp.o"
+  "CMakeFiles/bfly_sim.dir/cmp.cpp.o.d"
+  "CMakeFiles/bfly_sim.dir/lba.cpp.o"
+  "CMakeFiles/bfly_sim.dir/lba.cpp.o.d"
+  "libbfly_sim.a"
+  "libbfly_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

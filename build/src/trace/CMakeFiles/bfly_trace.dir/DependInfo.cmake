@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/epoch_slicer.cpp" "src/trace/CMakeFiles/bfly_trace.dir/epoch_slicer.cpp.o" "gcc" "src/trace/CMakeFiles/bfly_trace.dir/epoch_slicer.cpp.o.d"
+  "/root/repo/src/trace/event.cpp" "src/trace/CMakeFiles/bfly_trace.dir/event.cpp.o" "gcc" "src/trace/CMakeFiles/bfly_trace.dir/event.cpp.o.d"
+  "/root/repo/src/trace/log_codec.cpp" "src/trace/CMakeFiles/bfly_trace.dir/log_codec.cpp.o" "gcc" "src/trace/CMakeFiles/bfly_trace.dir/log_codec.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/trace/CMakeFiles/bfly_trace.dir/trace.cpp.o" "gcc" "src/trace/CMakeFiles/bfly_trace.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bfly_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

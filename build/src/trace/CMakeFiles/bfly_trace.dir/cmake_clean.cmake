@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_trace.dir/epoch_slicer.cpp.o"
+  "CMakeFiles/bfly_trace.dir/epoch_slicer.cpp.o.d"
+  "CMakeFiles/bfly_trace.dir/event.cpp.o"
+  "CMakeFiles/bfly_trace.dir/event.cpp.o.d"
+  "CMakeFiles/bfly_trace.dir/log_codec.cpp.o"
+  "CMakeFiles/bfly_trace.dir/log_codec.cpp.o.d"
+  "CMakeFiles/bfly_trace.dir/trace.cpp.o"
+  "CMakeFiles/bfly_trace.dir/trace.cpp.o.d"
+  "libbfly_trace.a"
+  "libbfly_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/barnes.cpp" "src/workloads/CMakeFiles/bfly_workloads.dir/barnes.cpp.o" "gcc" "src/workloads/CMakeFiles/bfly_workloads.dir/barnes.cpp.o.d"
+  "/root/repo/src/workloads/blackscholes.cpp" "src/workloads/CMakeFiles/bfly_workloads.dir/blackscholes.cpp.o" "gcc" "src/workloads/CMakeFiles/bfly_workloads.dir/blackscholes.cpp.o.d"
+  "/root/repo/src/workloads/bugs.cpp" "src/workloads/CMakeFiles/bfly_workloads.dir/bugs.cpp.o" "gcc" "src/workloads/CMakeFiles/bfly_workloads.dir/bugs.cpp.o.d"
+  "/root/repo/src/workloads/fft.cpp" "src/workloads/CMakeFiles/bfly_workloads.dir/fft.cpp.o" "gcc" "src/workloads/CMakeFiles/bfly_workloads.dir/fft.cpp.o.d"
+  "/root/repo/src/workloads/fmm.cpp" "src/workloads/CMakeFiles/bfly_workloads.dir/fmm.cpp.o" "gcc" "src/workloads/CMakeFiles/bfly_workloads.dir/fmm.cpp.o.d"
+  "/root/repo/src/workloads/lu.cpp" "src/workloads/CMakeFiles/bfly_workloads.dir/lu.cpp.o" "gcc" "src/workloads/CMakeFiles/bfly_workloads.dir/lu.cpp.o.d"
+  "/root/repo/src/workloads/ocean.cpp" "src/workloads/CMakeFiles/bfly_workloads.dir/ocean.cpp.o" "gcc" "src/workloads/CMakeFiles/bfly_workloads.dir/ocean.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "src/workloads/CMakeFiles/bfly_workloads.dir/synthetic.cpp.o" "gcc" "src/workloads/CMakeFiles/bfly_workloads.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/workloads/CMakeFiles/bfly_workloads.dir/workload.cpp.o" "gcc" "src/workloads/CMakeFiles/bfly_workloads.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bfly_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bfly_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_workloads.dir/barnes.cpp.o"
+  "CMakeFiles/bfly_workloads.dir/barnes.cpp.o.d"
+  "CMakeFiles/bfly_workloads.dir/blackscholes.cpp.o"
+  "CMakeFiles/bfly_workloads.dir/blackscholes.cpp.o.d"
+  "CMakeFiles/bfly_workloads.dir/bugs.cpp.o"
+  "CMakeFiles/bfly_workloads.dir/bugs.cpp.o.d"
+  "CMakeFiles/bfly_workloads.dir/fft.cpp.o"
+  "CMakeFiles/bfly_workloads.dir/fft.cpp.o.d"
+  "CMakeFiles/bfly_workloads.dir/fmm.cpp.o"
+  "CMakeFiles/bfly_workloads.dir/fmm.cpp.o.d"
+  "CMakeFiles/bfly_workloads.dir/lu.cpp.o"
+  "CMakeFiles/bfly_workloads.dir/lu.cpp.o.d"
+  "CMakeFiles/bfly_workloads.dir/ocean.cpp.o"
+  "CMakeFiles/bfly_workloads.dir/ocean.cpp.o.d"
+  "CMakeFiles/bfly_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/bfly_workloads.dir/synthetic.cpp.o.d"
+  "CMakeFiles/bfly_workloads.dir/workload.cpp.o"
+  "CMakeFiles/bfly_workloads.dir/workload.cpp.o.d"
+  "libbfly_workloads.a"
+  "libbfly_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_addrcheck.dir/test_addrcheck.cpp.o"
+  "CMakeFiles/test_addrcheck.dir/test_addrcheck.cpp.o.d"
+  "test_addrcheck"
+  "test_addrcheck.pdb"
+  "test_addrcheck[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_addrcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

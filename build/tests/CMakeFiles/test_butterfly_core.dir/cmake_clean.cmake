@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_butterfly_core.dir/test_butterfly_core.cpp.o"
+  "CMakeFiles/test_butterfly_core.dir/test_butterfly_core.cpp.o.d"
+  "test_butterfly_core"
+  "test_butterfly_core.pdb"
+  "test_butterfly_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_butterfly_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

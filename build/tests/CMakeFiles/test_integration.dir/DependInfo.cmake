@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/bfly_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/lifeguards/CMakeFiles/bfly_lifeguards.dir/DependInfo.cmake"
+  "/root/repo/build/src/butterfly/CMakeFiles/bfly_butterfly.dir/DependInfo.cmake"
+  "/root/repo/build/src/memmodel/CMakeFiles/bfly_memmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bfly_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/bfly_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bfly_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bfly_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

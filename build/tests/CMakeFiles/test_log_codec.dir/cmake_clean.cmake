@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_log_codec.dir/test_log_codec.cpp.o"
+  "CMakeFiles/test_log_codec.dir/test_log_codec.cpp.o.d"
+  "test_log_codec"
+  "test_log_codec.pdb"
+  "test_log_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_log_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memmodel.dir/test_memmodel.cpp.o"
+  "CMakeFiles/test_memmodel.dir/test_memmodel.cpp.o.d"
+  "test_memmodel"
+  "test_memmodel.pdb"
+  "test_memmodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reaching_defs.dir/test_reaching_defs.cpp.o"
+  "CMakeFiles/test_reaching_defs.dir/test_reaching_defs.cpp.o.d"
+  "test_reaching_defs"
+  "test_reaching_defs.pdb"
+  "test_reaching_defs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reaching_defs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_reaching_defs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reaching_exprs.dir/test_reaching_exprs.cpp.o"
+  "CMakeFiles/test_reaching_exprs.dir/test_reaching_exprs.cpp.o.d"
+  "test_reaching_exprs"
+  "test_reaching_exprs.pdb"
+  "test_reaching_exprs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reaching_exprs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taintcheck.dir/test_taintcheck.cpp.o"
+  "CMakeFiles/test_taintcheck.dir/test_taintcheck.cpp.o.d"
+  "test_taintcheck"
+  "test_taintcheck.pdb"
+  "test_taintcheck[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taintcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

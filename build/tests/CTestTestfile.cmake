@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_memmodel[1]_include.cmake")
+include("/root/repo/build/tests/test_reaching_defs[1]_include.cmake")
+include("/root/repo/build/tests/test_reaching_exprs[1]_include.cmake")
+include("/root/repo/build/tests/test_addrcheck[1]_include.cmake")
+include("/root/repo/build/tests/test_taintcheck[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_log_codec[1]_include.cmake")
+include("/root/repo/build/tests/test_defcheck[1]_include.cmake")
+include("/root/repo/build/tests/test_butterfly_core[1]_include.cmake")
