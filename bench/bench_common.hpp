@@ -21,13 +21,32 @@
 #define BUTTERFLY_BENCH_BENCH_COMMON_HPP
 
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <tuple>
 
 #include "harness/session.hpp"
+#include "telemetry/exporter.hpp"
 
 namespace bfly::bench {
+
+/**
+ * Telemetry capture directory for benchmark runs, or nullptr.
+ *
+ * Set BFLY_TELEMETRY_DIR=/some/dir to enable telemetry around every
+ * session a benchmark binary runs and write one
+ * `<workload>_t<threads>_h<epoch>.metrics.json` (registry snapshot) and
+ * matching `.trace.json` (Chrome trace, Perfetto-loadable) per session
+ * into that directory. Unset, telemetry stays disabled and sessions run
+ * at full speed.
+ */
+inline const char *
+telemetryDir()
+{
+    static const char *dir = std::getenv("BFLY_TELEMETRY_DIR");
+    return dir;
+}
 
 /** The paper's epoch sizes, scaled by the run-length compression. */
 inline constexpr std::size_t kSmallEpoch = 2048;  ///< "h = 8K"
@@ -61,10 +80,22 @@ cachedSession(const std::string &workload, WorkloadFactory factory,
     const Key key{workload, threads, epoch_size};
     auto it = cache.find(key);
     if (it == cache.end()) {
+        const char *dir = telemetryDir();
+        if (dir) {
+            telemetry::setEnabled(true);
+            telemetry::resetAll(); // one export per session
+        }
         it = cache
                  .emplace(key, runSession(paperSession(
                                    factory, threads, epoch_size)))
                  .first;
+        if (dir) {
+            const std::string stem = std::string(dir) + "/" + workload +
+                                     "_t" + std::to_string(threads) +
+                                     "_h" + std::to_string(epoch_size);
+            telemetry::dumpMetricsJson(stem + ".metrics.json");
+            telemetry::dumpChromeTrace(stem + ".trace.json");
+        }
     }
     return it->second;
 }

@@ -9,12 +9,22 @@
  * window means more conservative flags). Somewhere in between sits an
  * epoch size with both high performance and high accuracy.
  *
+ * After the sweep, one extra session runs with telemetry enabled to
+ * show the epoch timeline behind those numbers: per-epoch pass-1 /
+ * pass-2 / barrier cycles from the simulated-pipeline trace, plus an
+ * `epoch_tuning.trace.json` Chrome trace to load in ui.perfetto.dev.
+ *
  * Build & run:  ./build/examples/epoch_tuning   (takes ~a minute)
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdint>
+#include <map>
 
 #include "harness/session.hpp"
+#include "telemetry/exporter.hpp"
+#include "telemetry/trace_span.hpp"
 
 int
 main()
@@ -48,5 +58,65 @@ main()
                 "are zero at every setting — the knob only trades\n"
                 "performance against precision, never against "
                 "soundness.\n");
+
+    // -- epoch timeline demo -------------------------------------------
+    // Re-run the middle setting with telemetry on and fold the
+    // simulated-pipeline spans (pid 1, cycle domain) into a per-epoch
+    // cost breakdown — the timeline Figure 2 of the paper sketches.
+    std::printf("\nepoch timeline at h=8192 (simulated cycles, "
+                "telemetry-derived):\n\n");
+    telemetry::setEnabled(true);
+    telemetry::resetAll();
+    {
+        SessionConfig cfg;
+        cfg.factory = makeOcean;
+        cfg.workload.numThreads = 4;
+        cfg.workload.instrPerThread = 200000;
+        cfg.workload.phaseEvents = 9000;
+        cfg.workload.warmupNops = 40000;
+        cfg.epochSize = 8192;
+        (void)runSession(cfg);
+    }
+
+    struct EpochCost {
+        std::uint64_t pass1 = 0, pass2 = 0, barrier = 0, sos = 0;
+    };
+    std::map<std::uint64_t, EpochCost> timeline;
+    for (const auto &ev : telemetry::tracer().collect()) {
+        if (ev.pid != telemetry::SpanTracer::kSimPid || !ev.hasArg)
+            continue;
+        EpochCost &c = timeline[ev.argValue];
+        if (ev.name == "sim.pass1")
+            c.pass1 = std::max<std::uint64_t>(c.pass1, ev.dur);
+        else if (ev.name == "sim.pass2")
+            c.pass2 = std::max<std::uint64_t>(c.pass2, ev.dur);
+        else if (ev.name == "sim.barrier")
+            c.barrier += ev.dur;
+        else if (ev.name == "sim.sos_update")
+            c.sos += ev.dur;
+    }
+
+    std::printf("%8s %14s %14s %12s %12s\n", "epoch", "pass1 (max)",
+                "pass2 (max)", "barriers", "sos");
+    std::size_t printed = 0;
+    for (const auto &[epoch, c] : timeline) {
+        if (printed++ == 8) {
+            std::printf("%8s ... (%zu epochs total)\n", "",
+                        timeline.size());
+            break;
+        }
+        std::printf("%8llu %14llu %14llu %12llu %12llu\n",
+                    static_cast<unsigned long long>(epoch),
+                    static_cast<unsigned long long>(c.pass1),
+                    static_cast<unsigned long long>(c.pass2),
+                    static_cast<unsigned long long>(c.barrier),
+                    static_cast<unsigned long long>(c.sos));
+    }
+
+    if (telemetry::dumpChromeTrace("epoch_tuning.trace.json"))
+        std::printf("\nwrote epoch_tuning.trace.json — load it in "
+                    "chrome://tracing or ui.perfetto.dev to see the\n"
+                    "pass-1/pass-2/barrier pipeline per lifeguard "
+                    "thread.\n");
     return 0;
 }

@@ -4,15 +4,23 @@
  *
  *   monitor_cli [--workload NAME] [--threads N] [--epoch H]
  *               [--instr N] [--model sc|tso] [--seed S] [--verbose]
+ *               [--telemetry OUT.json] [--trace OUT.trace.json]
  *
  * Runs the chosen workload under the chosen memory model, monitors it
  * with butterfly ADDRCHECK, prices all three monitoring modes with the
  * timing model, and prints a session report. `--workload list` prints
  * the available workloads.
  *
+ * `--telemetry` writes the metrics-registry snapshot as nested JSON;
+ * `--trace` writes a Chrome trace-event file of the session (load it in
+ * chrome://tracing or https://ui.perfetto.dev — pid 0 is wall-clock,
+ * pid 1 the simulated butterfly pipeline in cycles). Either flag turns
+ * telemetry recording on for the run.
+ *
  * Examples:
  *   ./build/examples/monitor_cli --workload ocean --threads 8
  *   ./build/examples/monitor_cli --workload barnes --epoch 16384 --model tso
+ *   ./build/examples/monitor_cli --workload fft --trace fft.trace.json
  */
 
 #include <cstdio>
@@ -21,6 +29,7 @@
 #include <string>
 
 #include "harness/session.hpp"
+#include "telemetry/exporter.hpp"
 
 namespace {
 
@@ -31,6 +40,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--workload NAME] [--threads N] [--epoch H]\n"
         "          [--instr N] [--model sc|tso] [--seed S] [--verbose]\n"
+        "          [--telemetry OUT.json] [--trace OUT.trace.json]\n"
         "       %s --workload list\n",
         argv0, argv0);
     std::exit(2);
@@ -50,6 +60,8 @@ main(int argc, char **argv)
     MemModel model = MemModel::SequentiallyConsistent;
     std::uint64_t seed = 42;
     bool verbose = false;
+    std::string telemetry_out;
+    std::string trace_out;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -76,6 +88,10 @@ main(int argc, char **argv)
                 model = MemModel::TSO;
             else
                 usage(argv[0]);
+        } else if (arg == "--telemetry") {
+            telemetry_out = next();
+        } else if (arg == "--trace") {
+            trace_out = next();
         } else if (arg == "--verbose") {
             verbose = true;
         } else {
@@ -122,7 +138,29 @@ main(int argc, char **argv)
                 workload.c_str(), threads, epoch,
                 model == MemModel::TSO ? "TSO" : "SC", instr);
 
+    const bool want_telemetry = !telemetry_out.empty() || !trace_out.empty();
+    if (want_telemetry) {
+        telemetry::setEnabled(true);
+        telemetry::resetAll();
+    }
+
     const SessionResult r = runSession(cfg);
+
+    if (!telemetry_out.empty()) {
+        if (telemetry::dumpMetricsJson(telemetry_out))
+            std::printf("wrote metrics JSON to %s\n", telemetry_out.c_str());
+        else
+            std::fprintf(stderr, "failed to write %s\n",
+                         telemetry_out.c_str());
+    }
+    if (!trace_out.empty()) {
+        if (telemetry::dumpChromeTrace(trace_out))
+            std::printf("wrote Chrome trace to %s (open in "
+                        "chrome://tracing or ui.perfetto.dev)\n",
+                        trace_out.c_str());
+        else
+            std::fprintf(stderr, "failed to write %s\n", trace_out.c_str());
+    }
 
     std::printf("\n-- trace ----------------------------------------\n");
     std::printf("instructions      %zu\n", r.instructions);

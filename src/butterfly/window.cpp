@@ -3,20 +3,86 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_span.hpp"
+
 namespace bfly {
+
+namespace {
+
+/** Pre-interned names/ids for the schedule's telemetry (one-time). */
+struct WindowTelemetry
+{
+    std::uint32_t epochSpan;
+    std::uint32_t pass1Span;
+    std::uint32_t pass2Span;
+    std::uint32_t blockPass1Span;
+    std::uint32_t blockPass2Span;
+    std::uint32_t finalizeSpan;
+    std::uint32_t epochArg;
+    telemetry::MetricId epochsDone;
+    telemetry::MetricId pass1Blocks;
+    telemetry::MetricId pass2Blocks;
+
+    static const WindowTelemetry &
+    get()
+    {
+        static const WindowTelemetry w = [] {
+            auto &t = telemetry::tracer();
+            auto &r = telemetry::registry();
+            WindowTelemetry s;
+            s.epochSpan = t.internName("window.epoch");
+            s.pass1Span = t.internName("window.pass1");
+            s.pass2Span = t.internName("window.pass2");
+            s.blockPass1Span = t.internName("block.pass1");
+            s.blockPass2Span = t.internName("block.pass2");
+            s.finalizeSpan = t.internName("window.sos_update");
+            s.epochArg = t.internName("epoch");
+            s.epochsDone = r.counter("bfly.window.epochs_finalized");
+            s.pass1Blocks = r.counter("bfly.window.pass1_blocks");
+            s.pass2Blocks = r.counter("bfly.window.pass2_blocks");
+            return s;
+        }();
+        return w;
+    }
+};
+
+} // namespace
 
 void
 WindowSchedule::runPass(const EpochLayout &layout, EpochId l, bool second,
                         AnalysisDriver &driver) const
 {
     const std::size_t nthreads = layout.numThreads();
+    const bool traced = telemetry::enabled();
     auto work = [&](ThreadId t) {
+        // Worker t writes its spans to timeline track t+1 (track 0 is
+        // the scheduler thread); passes are join-separated, so each
+        // track keeps a single writer at any moment.
         const BlockView block = layout.block(l, t);
+        if (!traced) {
+            if (second)
+                driver.pass2(block);
+            else
+                driver.pass1(block);
+            return;
+        }
+        const WindowTelemetry &w = WindowTelemetry::get();
+        telemetry::ScopedTid tid(static_cast<std::uint16_t>(t + 1));
+        telemetry::TraceSpan span(second ? w.blockPass2Span
+                                         : w.blockPass1Span,
+                                  w.epochArg, l);
         if (second)
             driver.pass2(block);
         else
             driver.pass1(block);
     };
+
+    if (traced) {
+        const WindowTelemetry &w = WindowTelemetry::get();
+        telemetry::registry().add(second ? w.pass2Blocks : w.pass1Blocks,
+                                  nthreads);
+    }
 
     if (!parallelPasses_ || nthreads <= 1) {
         for (ThreadId t = 0; t < nthreads; ++t)
@@ -35,19 +101,50 @@ void
 WindowSchedule::run(const EpochLayout &layout, AnalysisDriver &driver) const
 {
     const std::size_t nepochs = layout.numEpochs();
+    const bool traced = telemetry::enabled();
+    const WindowTelemetry *w = traced ? &WindowTelemetry::get() : nullptr;
+
+    auto finalize = [&](EpochId l) {
+        telemetry::TraceSpan span(traced ? w->finalizeSpan : 0,
+                                  traced ? w->epochArg : telemetry::kNoMetric,
+                                  l);
+        driver.finalizeEpoch(l);
+        if (traced)
+            telemetry::registry().add(w->epochsDone);
+    };
+
     for (EpochId l = 0; l < nepochs; ++l) {
+        // One window step: pass 1 of epoch l, pass 2 + SOS of epoch l-1.
+        telemetry::TraceSpan step(traced ? w->epochSpan : 0,
+                                  traced ? w->epochArg : telemetry::kNoMetric,
+                                  l);
         // Step 1: pass 1 over the newly-arrived epoch l.
-        runPass(layout, l, false, driver);
+        {
+            telemetry::TraceSpan span(traced ? w->pass1Span : 0,
+                                      traced ? w->epochArg
+                                             : telemetry::kNoMetric,
+                                      l);
+            runPass(layout, l, false, driver);
+        }
         // Steps 2-4: epoch l-1's wings (epochs l-2..l) are now summarized.
         if (l >= 1) {
-            runPass(layout, l - 1, true, driver);
-            driver.finalizeEpoch(l - 1);
+            {
+                telemetry::TraceSpan span(traced ? w->pass2Span : 0,
+                                          traced ? w->epochArg
+                                                 : telemetry::kNoMetric,
+                                          l - 1);
+                runPass(layout, l - 1, true, driver);
+            }
+            finalize(l - 1);
         }
     }
     if (nepochs >= 1) {
         // The final epoch's wings end at the trace boundary.
+        telemetry::TraceSpan span(traced ? w->pass2Span : 0,
+                                  traced ? w->epochArg : telemetry::kNoMetric,
+                                  nepochs - 1);
         runPass(layout, nepochs - 1, true, driver);
-        driver.finalizeEpoch(nepochs - 1);
+        finalize(nepochs - 1);
     }
 }
 

@@ -4,6 +4,14 @@
  * fixed-bucket histogram. Used by the simulator, lifeguards and harness to
  * report the quantities the paper's figures are built from (cycles, events,
  * errors, false positives, stalls, ...).
+ *
+ * StatSet is now a thin compatibility shim over the telemetry subsystem's
+ * interned-ID machinery (src/telemetry/metrics.hpp): names are interned
+ * once in the process-wide table and each set stores a flat id -> value
+ * map, so repeated add/get on the same name costs one O(1) hash of a
+ * 32-bit id instead of an O(log n) string-keyed std::map walk. Hot paths
+ * can pre-intern with statId() and use the id overloads. New code should
+ * publish to telemetry::registry() directly.
  */
 
 #ifndef BUTTERFLY_COMMON_STATS_HPP
@@ -13,9 +21,19 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "telemetry/metrics.hpp"
+
 namespace bfly {
+
+/** Intern @p name in the process-wide stat-name table. */
+inline telemetry::MetricId
+statId(const std::string &name)
+{
+    return telemetry::statNames().intern(name);
+}
 
 /** A named bag of counters with formatted dumping. */
 class StatSet
@@ -25,21 +43,40 @@ class StatSet
     void
     add(const std::string &name, std::uint64_t delta = 1)
     {
-        counters_[name] += delta;
+        counters_[statId(name)] += delta;
+    }
+
+    /** Pre-interned hot-path variant. */
+    void
+    add(telemetry::MetricId id, std::uint64_t delta = 1)
+    {
+        counters_[id] += delta;
     }
 
     /** Overwrite counter @p name. */
     void
     set(const std::string &name, std::uint64_t value)
     {
-        counters_[name] = value;
+        counters_[statId(name)] = value;
+    }
+
+    void
+    set(telemetry::MetricId id, std::uint64_t value)
+    {
+        counters_[id] = value;
     }
 
     /** Current value (0 if never touched). */
     std::uint64_t
     get(const std::string &name) const
     {
-        auto it = counters_.find(name);
+        return get(statId(name));
+    }
+
+    std::uint64_t
+    get(telemetry::MetricId id) const
+    {
+        auto it = counters_.find(id);
         return it == counters_.end() ? 0 : it->second;
     }
 
@@ -47,27 +84,32 @@ class StatSet
     void
     merge(const StatSet &other)
     {
-        for (const auto &[name, value] : other.counters_)
-            counters_[name] += value;
+        for (const auto &[id, value] : other.counters_)
+            counters_[id] += value;
     }
 
     void clear() { counters_.clear(); }
 
-    const std::map<std::string, std::uint64_t> &all() const
+    /** Materialize a name-sorted view (names resolved from the table). */
+    std::map<std::string, std::uint64_t>
+    all() const
     {
-        return counters_;
+        std::map<std::string, std::uint64_t> out;
+        for (const auto &[id, value] : counters_)
+            out.emplace(telemetry::statNames().lookup(id), value);
+        return out;
     }
 
     /** Dump "name value" lines, sorted by name. */
     void
     dump(std::ostream &os, const std::string &prefix = "") const
     {
-        for (const auto &[name, value] : counters_)
+        for (const auto &[name, value] : all())
             os << prefix << name << " " << value << "\n";
     }
 
   private:
-    std::map<std::string, std::uint64_t> counters_;
+    std::unordered_map<telemetry::MetricId, std::uint64_t> counters_;
 };
 
 /** Power-of-two bucketed histogram for latency / size distributions. */

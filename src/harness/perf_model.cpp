@@ -5,10 +5,55 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_span.hpp"
 
 namespace bfly {
 
 namespace {
+
+/** Pre-interned perf-model telemetry (one-time registration). */
+struct PerfTelemetry
+{
+    telemetry::MetricId seqBaselineCycles;
+    telemetry::MetricId timeslicedCycles;
+    telemetry::MetricId butterflyCycles;
+    telemetry::MetricId parallelNoMonCycles;
+    telemetry::MetricId dbiCycles;
+    telemetry::MetricId appStallCycles;
+    telemetry::MetricId barrierWaitCycles;
+    telemetry::MetricId recordedEvents;
+    telemetry::MetricId pass1BlockCycles; ///< histogram
+    telemetry::MetricId pass2BlockCycles; ///< histogram
+    telemetry::MetricId sosEpochCycles;   ///< histogram
+
+    static const PerfTelemetry &
+    get()
+    {
+        static const PerfTelemetry m = [] {
+            auto &r = telemetry::registry();
+            PerfTelemetry s;
+            s.seqBaselineCycles =
+                r.gauge("bfly.perf.sequential_baseline_cycles");
+            s.timeslicedCycles = r.gauge("bfly.perf.timesliced_cycles");
+            s.butterflyCycles = r.gauge("bfly.perf.butterfly_cycles");
+            s.parallelNoMonCycles =
+                r.gauge("bfly.perf.parallel_nomonitor_cycles");
+            s.dbiCycles = r.gauge("bfly.perf.dbi_cycles");
+            s.appStallCycles = r.gauge("bfly.perf.app_stall_cycles");
+            s.barrierWaitCycles =
+                r.gauge("bfly.perf.barrier_wait_cycles");
+            s.recordedEvents = r.counter("bfly.perf.recorded_events");
+            s.pass1BlockCycles =
+                r.histogram("bfly.perf.pass1_block_cycles");
+            s.pass2BlockCycles =
+                r.histogram("bfly.perf.pass2_block_cycles");
+            s.sosEpochCycles = r.histogram("bfly.perf.sos_epoch_cycles");
+            return s;
+        }();
+        return m;
+    }
+};
 
 /** Expand an event's monitored keys (destination + sources). */
 void
@@ -240,19 +285,28 @@ computePerformance(const PerfInputs &in)
     // Parallel runs use 2T cores (T application + T lifeguard; Table 1
     // scales L2 with the core count). Serial runs use the 2-core config.
     Cmp cmp_parallel(CmpConfig::forCores(static_cast<unsigned>(2 * T)));
-    auto par_costs = replayAppCosts(trace, in.core, cmp_parallel, true);
+    auto par_costs = [&] {
+        telemetry::TraceSpan span("perf.app_replay_parallel");
+        return replayAppCosts(trace, in.core, cmp_parallel, true);
+    }();
     report.cacheStats = cmp_parallel.stats();
 
     // Timesliced app core: the fine-grained interleave (cache
     // interference between the timesliced threads' working sets).
     Cmp cmp_serial(CmpConfig::forCores(2));
-    auto ser_costs = replayAppCosts(trace, in.core, cmp_serial, false);
+    auto ser_costs = [&] {
+        telemetry::TraceSpan span("perf.app_replay_serial");
+        return replayAppCosts(trace, in.core, cmp_serial, false);
+    }();
 
     // Sequential unmonitored baseline: same work, single-threaded
     // traversal order (phase-by-phase, locality intact).
     Cmp cmp_baseline(CmpConfig::forCores(2));
-    report.sequentialBaseline =
-        replaySegmentOrderedBaseline(trace, in.core, cmp_baseline);
+    {
+        telemetry::TraceSpan span("perf.sequential_baseline");
+        report.sequentialBaseline =
+            replaySegmentOrderedBaseline(trace, in.core, cmp_baseline);
+    }
     const Cycles seq_total = report.sequentialBaseline;
 
     // Parallel, no monitoring: barrier-aware slowest-thread time.
@@ -268,6 +322,7 @@ computePerformance(const PerfInputs &in)
     // the deployed tools serialize the threads onto one core (as
     // Valgrind does) with checks inlined into the instruction stream.
     {
+        telemetry::TraceSpan span("perf.dbi");
         Cycles total = 0;
         std::vector<Addr> scratch;
         for (std::size_t t = 0; t < T; ++t) {
@@ -290,6 +345,7 @@ computePerformance(const PerfInputs &in)
     // One application core produces the merged stream; one lifeguard
     // core consumes it with a persistent idempotent filter.
     {
+        telemetry::TraceSpan span("perf.timesliced");
         struct Ref
         {
             std::uint64_t gseq;
@@ -329,6 +385,11 @@ computePerformance(const PerfInputs &in)
 
     // --- Parallel butterfly monitoring -------------------------------
     {
+        telemetry::TraceSpan span("perf.butterfly");
+        const bool traced = telemetry::enabled();
+        const PerfTelemetry *pt = traced ? &PerfTelemetry::get() : nullptr;
+        auto &reg = telemetry::registry();
+
         ButterflyTimingInput bt;
         bt.bufferCapacity = capacity;
         bt.barrierCost = in.costs.barrierCost;
@@ -346,12 +407,15 @@ computePerformance(const PerfInputs &in)
                 ec.appCost.reserve(block.size());
                 ec.pass1Cost.reserve(block.size());
                 std::uint64_t recorded = 0;
+                Cycles pass1_total = 0;
                 for (InstrOffset i = 0; i < block.size(); ++i) {
                     const std::size_t idx = layout.globalIndex(l, t, i);
                     ec.appCost.push_back(par_costs[t][idx]);
-                    ec.pass1Cost.push_back(lifeguardEventCost(
+                    const Cycles c = lifeguardEventCost(
                         block.events[i], in.addrcheck, in.costs, filter,
-                        true, scratch, &recorded));
+                        true, scratch, &recorded);
+                    pass1_total += c;
+                    ec.pass1Cost.push_back(c);
                 }
                 // Pass 2: merge the wing summaries, re-analyze recorded
                 // events, process any flagged errors.
@@ -367,12 +431,22 @@ computePerformance(const PerfInputs &in)
                     in.costs.pass2PerEvent * recorded +
                     in.costs.meetPerKey * meet +
                     in.costs.fpCost * in.butterfly->errorsInBlock(l, t);
+                if (traced) {
+                    // Per-(thread, epoch) cost breakdown: one histogram
+                    // sample per block, one counter flush per block —
+                    // never per event.
+                    reg.add(pt->recordedEvents, recorded);
+                    reg.observe(pt->pass1BlockCycles, pass1_total);
+                    reg.observe(pt->pass2BlockCycles, ec.pass2Cost);
+                }
             }
         }
         bt.sosUpdateCost.resize(L);
         for (EpochId l = 0; l < L; ++l) {
             bt.sosUpdateCost[l] =
                 in.costs.sosPerKey * in.butterfly->sosUpdateWork(l);
+            if (traced)
+                reg.observe(pt->sosEpochCycles, bt.sosUpdateCost[l]);
         }
         report.butterfly.timing = simulateButterfly(bt);
     }
@@ -386,6 +460,22 @@ computePerformance(const PerfInputs &in)
         report.butterfly.timing.totalCycles / denom;
     report.dbiSoftware.normalized =
         report.dbiSoftware.timing.totalCycles / denom;
+
+    if (telemetry::enabled()) {
+        const PerfTelemetry &pt = PerfTelemetry::get();
+        auto &reg = telemetry::registry();
+        reg.set(pt.seqBaselineCycles, report.sequentialBaseline);
+        reg.set(pt.timeslicedCycles,
+                report.timesliced.timing.totalCycles);
+        reg.set(pt.butterflyCycles, report.butterfly.timing.totalCycles);
+        reg.set(pt.parallelNoMonCycles,
+                report.parallelNoMonitor.timing.totalCycles);
+        reg.set(pt.dbiCycles, report.dbiSoftware.timing.totalCycles);
+        reg.set(pt.appStallCycles,
+                report.butterfly.timing.appStallCycles);
+        reg.set(pt.barrierWaitCycles,
+                report.butterfly.timing.barrierWaitCycles);
+    }
     return report;
 }
 

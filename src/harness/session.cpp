@@ -3,27 +3,76 @@
 #include "butterfly/window.hpp"
 #include "common/logging.hpp"
 #include "lifeguards/addrcheck_oracle.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_span.hpp"
 
 namespace bfly {
+
+namespace {
+
+/** Pre-interned session metric ids (registration is one-time). */
+struct SessionMetrics
+{
+    telemetry::MetricId runs;
+    telemetry::MetricId instructions;
+    telemetry::MetricId memoryAccesses;
+    telemetry::MetricId epochs;
+    telemetry::MetricId threads;
+    telemetry::MetricId butterflyErrors;
+    telemetry::MetricId oracleErrors;
+    telemetry::MetricId falsePositives;
+    telemetry::MetricId falseNegatives;
+
+    static const SessionMetrics &
+    get()
+    {
+        static const SessionMetrics m = [] {
+            auto &r = telemetry::registry();
+            SessionMetrics s;
+            s.runs = r.counter("bfly.session.runs");
+            s.instructions = r.gauge("bfly.session.instructions");
+            s.memoryAccesses = r.gauge("bfly.session.memory_accesses");
+            s.epochs = r.gauge("bfly.session.epochs");
+            s.threads = r.gauge("bfly.session.threads");
+            s.butterflyErrors = r.gauge("bfly.session.butterfly_errors");
+            s.oracleErrors = r.gauge("bfly.session.oracle_errors");
+            s.falsePositives = r.gauge("bfly.session.false_positives");
+            s.falseNegatives = r.gauge("bfly.session.false_negatives");
+            return s;
+        }();
+        return m;
+    }
+};
+
+} // namespace
 
 SessionResult
 runSession(const SessionConfig &config)
 {
     ensure(config.factory != nullptr, "session needs a workload factory");
 
+    // Root telemetry scope: everything below nests inside this span.
+    telemetry::TraceSpan root("session");
+
     // 1. Generate the workload and execute it under the memory model.
     Workload workload = config.factory(config.workload);
     Rng rng(config.interleaveSeed);
     InterleaveConfig icfg;
     icfg.model = config.model;
-    Trace trace = interleave(workload.programs, icfg, rng);
+    Trace trace = [&] {
+        telemetry::TraceSpan span("session.interleave");
+        return interleave(workload.programs, icfg, rng);
+    }();
 
     // 2. Slice into heartbeat epochs.
     // Heartbeats fire after h*n instructions of global progress (the
     // prototype's mechanism, Section 7.1), so the epoch structure is
     // time-like: stalled threads contribute empty blocks.
-    EpochLayout layout = EpochLayout::byGlobalSeq(
-        trace, config.epochSize * trace.numThreads());
+    EpochLayout layout = [&] {
+        telemetry::TraceSpan span("session.epoch_slice");
+        return EpochLayout::byGlobalSeq(
+            trace, config.epochSize * trace.numThreads());
+    }();
 
     // 3. Functional butterfly ADDRCHECK run.
     AddrCheckConfig acfg;
@@ -33,11 +82,17 @@ runSession(const SessionConfig &config)
 
     ButterflyAddrCheck butterfly(layout, acfg);
     WindowSchedule schedule(config.parallelPasses);
-    schedule.run(layout, butterfly);
+    {
+        telemetry::TraceSpan span("session.butterfly");
+        schedule.run(layout, butterfly);
+    }
 
     // 4. Ground truth from the exact oracle over the true interleaving.
     AddrCheckOracle oracle(acfg);
-    oracle.runOnTrace(trace);
+    {
+        telemetry::TraceSpan span("session.oracle");
+        oracle.runOnTrace(trace);
+    }
 
     SessionResult result;
     result.workloadName = workload.name;
@@ -60,7 +115,24 @@ runSession(const SessionConfig &config)
     pin.addrcheck = acfg;
     pin.costs = config.costs;
     pin.logBufferBytes = config.logBufferBytes;
-    result.perf = computePerformance(pin);
+    {
+        telemetry::TraceSpan span("session.perf_model");
+        result.perf = computePerformance(pin);
+    }
+
+    if (telemetry::enabled()) {
+        const SessionMetrics &m = SessionMetrics::get();
+        auto &reg = telemetry::registry();
+        reg.add(m.runs);
+        reg.set(m.instructions, result.instructions);
+        reg.set(m.memoryAccesses, result.memoryAccesses);
+        reg.set(m.epochs, result.epochs);
+        reg.set(m.threads, result.threads);
+        reg.set(m.butterflyErrors, result.butterflyErrorCount);
+        reg.set(m.oracleErrors, result.oracleErrorCount);
+        reg.set(m.falsePositives, result.accuracy.falsePositives);
+        reg.set(m.falseNegatives, result.accuracy.falseNegatives);
+    }
     return result;
 }
 

@@ -1,8 +1,43 @@
 #include "lifeguards/addrcheck.hpp"
 
 #include "common/logging.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace bfly {
+
+namespace {
+
+/** Pre-interned ADDRCHECK metric ids (one-time registration). */
+struct AddrCheckTelemetry
+{
+    telemetry::MetricId eventsChecked;
+    telemetry::MetricId isolationViolations;
+    telemetry::MetricId errorsFlagged;
+    telemetry::MetricId blocksCommitted;
+    telemetry::MetricId summarySize; ///< histogram, per pass-1 block
+    telemetry::MetricId sosSize;     ///< gauge, keys in the SOS
+
+    static const AddrCheckTelemetry &
+    get()
+    {
+        static const AddrCheckTelemetry m = [] {
+            auto &r = telemetry::registry();
+            AddrCheckTelemetry s;
+            s.eventsChecked = r.counter("bfly.addrcheck.events_checked");
+            s.isolationViolations =
+                r.counter("bfly.addrcheck.isolation_violations");
+            s.errorsFlagged = r.counter("bfly.addrcheck.errors_flagged");
+            s.blocksCommitted =
+                r.counter("bfly.addrcheck.blocks_committed");
+            s.summarySize = r.histogram("bfly.addrcheck.summary_size");
+            s.sosSize = r.gauge("bfly.addrcheck.sos_size");
+            return s;
+        }();
+        return m;
+    }
+};
+
+} // namespace
 
 ButterflyAddrCheck::ButterflyAddrCheck(const EpochLayout &layout,
                                        const AddrCheckConfig &config)
@@ -74,6 +109,15 @@ ButterflyAddrCheck::commitBlock(EpochId l, ThreadId t,
                                 std::uint64_t checks,
                                 std::uint64_t isolation)
 {
+    if (telemetry::enabled()) {
+        // Per-block flush of the hot-path tallies (never per event).
+        const AddrCheckTelemetry &m = AddrCheckTelemetry::get();
+        auto &reg = telemetry::registry();
+        reg.add(m.eventsChecked, checks);
+        reg.add(m.isolationViolations, isolation);
+        reg.add(m.errorsFlagged, local.size());
+        reg.add(m.blocksCommitted);
+    }
     std::lock_guard<std::mutex> guard(mutex_);
     for (const ErrorRecord &rec : local) {
         if (errors_.report(rec))
@@ -175,6 +219,12 @@ ButterflyAddrCheck::pass1(const BlockView &block)
         std::lock_guard<std::mutex> guard(mutex_);
         summarySizes_[blockKey(l, t)] =
             s.genEnd.size() + s.killEnd.size() + s.access.size();
+    }
+    if (telemetry::enabled()) {
+        const AddrCheckTelemetry &m = AddrCheckTelemetry::get();
+        telemetry::registry().observe(m.summarySize,
+                                      s.genEnd.size() + s.killEnd.size() +
+                                          s.access.size());
     }
     commitBlock(l, t, local_errors, checks, 0);
 }
@@ -325,6 +375,11 @@ ButterflyAddrCheck::finalizeEpoch(EpochId l)
     // Single-writer SOS advance: SOS_{l+2} = GEN_l U (SOS_{l+1} - KILL_l).
     sos_.subtract(kill_epoch);
     sos_.unionWith(gen_epoch);
+
+    if (telemetry::enabled()) {
+        telemetry::registry().set(AddrCheckTelemetry::get().sosSize,
+                                  sos_.size());
+    }
 }
 
 std::uint64_t

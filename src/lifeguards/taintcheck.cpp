@@ -3,8 +3,37 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace bfly {
+
+namespace {
+
+/** Pre-interned TAINTCHECK metric ids (one-time registration). */
+struct TaintCheckTelemetry
+{
+    telemetry::MetricId epochsFinalized;
+    telemetry::MetricId sosSize;        ///< gauge: tainted keys in SOS
+    telemetry::MetricId epochGenKill;   ///< histogram: |GEN_l| + |KILL_l|
+
+    static const TaintCheckTelemetry &
+    get()
+    {
+        static const TaintCheckTelemetry m = [] {
+            auto &r = telemetry::registry();
+            TaintCheckTelemetry s;
+            s.epochsFinalized =
+                r.counter("bfly.taintcheck.epochs_finalized");
+            s.sosSize = r.gauge("bfly.taintcheck.sos_size");
+            s.epochGenKill =
+                r.histogram("bfly.taintcheck.epoch_genkill_size");
+            return s;
+        }();
+        return m;
+    }
+};
+
+} // namespace
 
 ButterflyTaintCheck::ButterflyTaintCheck(const EpochLayout &layout,
                                          const TaintCheckConfig &config,
@@ -503,6 +532,15 @@ ButterflyTaintCheck::finalizeEpoch(EpochId l)
     sosPrev_ = sosCur_;
     sosCur_.subtract(kill_epoch);
     sosCur_.unionWith(gen_epoch);
+
+    if (telemetry::enabled()) {
+        const TaintCheckTelemetry &m = TaintCheckTelemetry::get();
+        auto &reg = telemetry::registry();
+        reg.add(m.epochsFinalized);
+        reg.set(m.sosSize, sosCur_.size());
+        reg.observe(m.epochGenKill,
+                    gen_epoch.size() + kill_epoch.size());
+    }
 }
 
 } // namespace bfly

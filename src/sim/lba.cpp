@@ -3,10 +3,43 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_span.hpp"
 
 namespace bfly {
 
 namespace {
+
+/**
+ * Pre-interned names for the simulated-pipeline timeline (pid 1 in the
+ * Chrome trace; timestamps are simulated cycles). Each lifeguard thread
+ * gets a track; track `nthreads` carries the master-thread events
+ * (barriers, SOS updates).
+ */
+struct SimTimeline
+{
+    std::uint32_t pass1;
+    std::uint32_t pass2;
+    std::uint32_t barrier;
+    std::uint32_t sosUpdate;
+    std::uint32_t epochArg;
+
+    static const SimTimeline &
+    get()
+    {
+        static const SimTimeline s = [] {
+            auto &t = telemetry::tracer();
+            SimTimeline m;
+            m.pass1 = t.internName("sim.pass1");
+            m.pass2 = t.internName("sim.pass2");
+            m.barrier = t.internName("sim.barrier");
+            m.sosUpdate = t.internName("sim.sos_update");
+            m.epochArg = t.internName("epoch");
+            return m;
+        }();
+        return s;
+    }
+};
 
 /**
  * Ring of the last @c capacity consume-completion times, so production of
@@ -82,6 +115,13 @@ simulateButterfly(const ButterflyTimingInput &input)
 
     TimingResult result;
 
+    // Simulated-cycle timeline export (pid 1). Guarded per epoch, not
+    // per record, so the disabled cost is one branch per epoch.
+    const bool traced = telemetry::enabled();
+    const SimTimeline *tl = traced ? &SimTimeline::get() : nullptr;
+    auto &ttr = telemetry::tracer();
+    const auto mastertid = static_cast<std::uint16_t>(nthreads);
+
     // Per-thread production / consumption state.
     std::vector<ConsumeRing> rings(nthreads,
                                    ConsumeRing(input.bufferCapacity));
@@ -102,6 +142,7 @@ simulateButterfly(const ButterflyTimingInput &input)
                 ensure(block.appCost.size() == block.pass1Cost.size(),
                        "app/pass1 cost streams must align");
                 Cycles cons = std::max(consume[t], lg_ready[t]);
+                const Cycles cons_start = cons;
                 for (std::size_t k = 0; k < block.appCost.size(); ++k) {
                     const std::uint64_t i = record_index[t]++;
                     const Cycles slot_free = rings[t].slotFree(i);
@@ -115,6 +156,11 @@ simulateButterfly(const ButterflyTimingInput &input)
                 }
                 consume[t] = cons;
                 pass1_done[t] = cons;
+                if (traced)
+                    ttr.complete(tl->pass1, cons_start, cons - cons_start,
+                                 telemetry::SpanTracer::kSimPid,
+                                 static_cast<std::uint16_t>(t),
+                                 tl->epochArg, l);
             }
         } else {
             for (std::size_t t = 0; t < nthreads; ++t)
@@ -127,6 +173,10 @@ simulateButterfly(const ButterflyTimingInput &input)
         const Cycles barrier1 = slowest + input.barrierCost;
         for (std::size_t t = 0; t < nthreads; ++t)
             result.barrierWaitCycles += barrier1 - pass1_done[t];
+        if (traced)
+            ttr.complete(tl->barrier, slowest, input.barrierCost,
+                         telemetry::SpanTracer::kSimPid, mastertid,
+                         tl->epochArg, l);
 
         if (l == 0) {
             for (std::size_t t = 0; t < nthreads; ++t)
@@ -137,18 +187,35 @@ simulateButterfly(const ButterflyTimingInput &input)
 
         // Pass 2 over epoch l-1 (its wings through epoch l are complete).
         std::vector<Cycles> pass2_done(nthreads, 0);
-        for (std::size_t t = 0; t < nthreads; ++t)
+        for (std::size_t t = 0; t < nthreads; ++t) {
             pass2_done[t] = barrier1 + input.costs[t][l - 1].pass2Cost;
+            if (traced)
+                ttr.complete(tl->pass2, barrier1,
+                             input.costs[t][l - 1].pass2Cost,
+                             telemetry::SpanTracer::kSimPid,
+                             static_cast<std::uint16_t>(t), tl->epochArg,
+                             l - 1);
+        }
 
         const Cycles slowest2 =
             *std::max_element(pass2_done.begin(), pass2_done.end());
         Cycles barrier2 = slowest2 + input.barrierCost;
         for (std::size_t t = 0; t < nthreads; ++t)
             result.barrierWaitCycles += barrier2 - pass2_done[t];
+        if (traced)
+            ttr.complete(tl->barrier, slowest2, input.barrierCost,
+                         telemetry::SpanTracer::kSimPid, mastertid,
+                         tl->epochArg, l - 1);
 
         // Master thread folds the epoch summary into the SOS.
-        if (l - 1 < input.sosUpdateCost.size())
+        if (l - 1 < input.sosUpdateCost.size()) {
+            if (traced && input.sosUpdateCost[l - 1] > 0)
+                ttr.complete(tl->sosUpdate, barrier2,
+                             input.sosUpdateCost[l - 1],
+                             telemetry::SpanTracer::kSimPid, mastertid,
+                             tl->epochArg, l - 1);
             barrier2 += input.sosUpdateCost[l - 1];
+        }
 
         for (std::size_t t = 0; t < nthreads; ++t)
             lg_ready[t] = barrier2;

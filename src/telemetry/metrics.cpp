@@ -1,0 +1,264 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace bfly::telemetry {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+// ---------------------------------------------------------------- Interner
+
+std::uint32_t
+Interner::intern(std::string_view name)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = byName_.find(std::string(name));
+    if (it != byName_.end())
+        return it->second;
+    const auto id = static_cast<std::uint32_t>(names_.size());
+    auto [pos, inserted] = byName_.emplace(std::string(name), id);
+    names_.push_back(&pos->first);
+    return id;
+}
+
+std::string
+Interner::lookup(std::uint32_t id) const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (id >= names_.size())
+        return "?";
+    return *names_[id];
+}
+
+std::size_t
+Interner::size() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return names_.size();
+}
+
+// -------------------------------------------------------- MetricsRegistry
+
+unsigned
+MetricsRegistry::bucketIndex(std::uint64_t value)
+{
+    if (value <= 1)
+        return 0;
+    const unsigned b = std::bit_width(value) - 1;
+    return b < kHistBuckets ? b : kHistBuckets - 1;
+}
+
+MetricId
+MetricsRegistry::registerMetric(MetricKind kind, std::string_view name)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = byName_.find(std::string(name));
+    if (it != byName_.end())
+        return it->second; // first registration's kind wins
+
+    MetricId id = kNoMetric;
+    if (kind == MetricKind::Histogram) {
+        if (nextHist_ >= kMaxHists)
+            return kNoMetric; // out of slots: silently a no-op metric
+        const std::uint32_t index = nextHist_++;
+        if (hists_[index].load(std::memory_order_acquire) == nullptr)
+            hists_[index].store(new HistCell, std::memory_order_release);
+        id = makeId(kind, index);
+    } else {
+        const std::uint32_t index = nextScalar_;
+        const std::uint32_t chunk = index >> kChunkShift;
+        if (chunk >= kMaxChunks)
+            return kNoMetric;
+        ++nextScalar_;
+        if (chunks_[chunk].load(std::memory_order_acquire) == nullptr)
+            chunks_[chunk].store(new ScalarChunk,
+                                 std::memory_order_release);
+        id = makeId(kind, index);
+    }
+    byName_.emplace(std::string(name), id);
+    infos_.push_back(Info{std::string(name), id});
+    return id;
+}
+
+MetricId
+MetricsRegistry::counter(std::string_view name)
+{
+    return registerMetric(MetricKind::Counter, name);
+}
+
+MetricId
+MetricsRegistry::gauge(std::string_view name)
+{
+    return registerMetric(MetricKind::Gauge, name);
+}
+
+MetricId
+MetricsRegistry::histogram(std::string_view name)
+{
+    return registerMetric(MetricKind::Histogram, name);
+}
+
+std::atomic<std::uint64_t> *
+MetricsRegistry::scalarCell(MetricId id) const
+{
+    if (id == kNoMetric || kindOf(id) == MetricKind::Histogram)
+        return nullptr;
+    const std::uint32_t index = indexOf(id);
+    const std::uint32_t chunk = index >> kChunkShift;
+    if (chunk >= kMaxChunks)
+        return nullptr;
+    ScalarChunk *c = chunks_[chunk].load(std::memory_order_acquire);
+    if (!c)
+        return nullptr;
+    return &c->cells[index & (kChunkSize - 1)];
+}
+
+MetricsRegistry::HistCell *
+MetricsRegistry::histCell(MetricId id) const
+{
+    if (id == kNoMetric || kindOf(id) != MetricKind::Histogram)
+        return nullptr;
+    const std::uint32_t index = indexOf(id);
+    if (index >= kMaxHists)
+        return nullptr;
+    return hists_[index].load(std::memory_order_acquire);
+}
+
+void
+MetricsRegistry::observe(MetricId id, std::uint64_t value)
+{
+    HistCell *h = histCell(id);
+    if (!h)
+        return;
+    h->buckets[bucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    h->count.fetch_add(1, std::memory_order_relaxed);
+    h->sum.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t seen = h->min.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !h->min.compare_exchange_weak(seen, value,
+                                         std::memory_order_relaxed)) {
+    }
+    seen = h->max.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !h->max.compare_exchange_weak(seen, value,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+std::uint64_t
+MetricsRegistry::value(MetricId id) const
+{
+    if (const HistCell *h = histCell(id))
+        return h->count.load(std::memory_order_relaxed);
+    if (const std::atomic<std::uint64_t> *c = scalarCell(id))
+        return c->load(std::memory_order_relaxed);
+    return 0;
+}
+
+RegistrySnapshot
+MetricsRegistry::snapshot() const
+{
+    RegistrySnapshot snap;
+    std::vector<Info> infos;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        infos = infos_;
+    }
+    snap.metrics.reserve(infos.size());
+    for (const Info &info : infos) {
+        MetricSnapshot m;
+        m.name = info.name;
+        m.kind = kindOf(info.id);
+        if (const HistCell *h = histCell(info.id)) {
+            HistogramSnapshot &hs = m.histogram;
+            hs.count = h->count.load(std::memory_order_relaxed);
+            hs.sum = h->sum.load(std::memory_order_relaxed);
+            hs.max = h->max.load(std::memory_order_relaxed);
+            const std::uint64_t mn = h->min.load(std::memory_order_relaxed);
+            hs.min = hs.count ? mn : 0;
+            for (unsigned b = 0; b < kHistBuckets; ++b)
+                hs.buckets[b] =
+                    h->buckets[b].load(std::memory_order_relaxed);
+            m.value = hs.count;
+        } else {
+            m.value = value(info.id);
+        }
+        snap.metrics.push_back(std::move(m));
+    }
+    std::sort(snap.metrics.begin(), snap.metrics.end(),
+              [](const MetricSnapshot &a, const MetricSnapshot &b) {
+                  return a.name < b.name;
+              });
+    return snap;
+}
+
+void
+MetricsRegistry::clear()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (std::uint32_t i = 0; i < nextScalar_; ++i) {
+        ScalarChunk *c = chunks_[i >> kChunkShift].load();
+        if (c)
+            c->cells[i & (kChunkSize - 1)].store(
+                0, std::memory_order_relaxed);
+    }
+    for (std::uint32_t i = 0; i < nextHist_; ++i) {
+        HistCell *h = hists_[i].load();
+        if (!h)
+            continue;
+        for (auto &b : h->buckets)
+            b.store(0, std::memory_order_relaxed);
+        h->count.store(0, std::memory_order_relaxed);
+        h->sum.store(0, std::memory_order_relaxed);
+        h->min.store(~std::uint64_t{0}, std::memory_order_relaxed);
+        h->max.store(0, std::memory_order_relaxed);
+    }
+}
+
+std::size_t
+MetricsRegistry::metricCount() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return infos_.size();
+}
+
+// ----------------------------------------------------------- RegistrySnapshot
+
+std::uint64_t
+RegistrySnapshot::value(std::string_view name) const
+{
+    for (const MetricSnapshot &m : metrics)
+        if (m.name == name)
+            return m.value;
+    return 0;
+}
+
+const HistogramSnapshot *
+RegistrySnapshot::histogram(std::string_view name) const
+{
+    for (const MetricSnapshot &m : metrics)
+        if (m.name == name && m.kind == MetricKind::Histogram)
+            return &m.histogram;
+    return nullptr;
+}
+
+// ------------------------------------------------------------------ globals
+
+MetricsRegistry &
+registry()
+{
+    static MetricsRegistry *r = new MetricsRegistry;
+    return *r;
+}
+
+Interner &
+statNames()
+{
+    static Interner *i = new Interner;
+    return *i;
+}
+
+} // namespace bfly::telemetry

@@ -17,8 +17,49 @@
 
 #include "common/logging.hpp"
 #include "common/types.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace_span.hpp"
 
 namespace bfly {
+
+namespace detail {
+
+/** Pre-interned log-buffer telemetry ids (one-time registration). */
+struct LogBufferTelemetry
+{
+    telemetry::MetricId produced;
+    telemetry::MetricId consumed;
+    telemetry::MetricId producerStalls;
+    telemetry::MetricId consumerIdles;
+    telemetry::MetricId heartbeats;
+    telemetry::MetricId occupancyHist;
+    std::uint32_t stallEvent;
+    std::uint32_t heartbeatEvent;
+    std::uint32_t occupancyArg;
+
+    static const LogBufferTelemetry &
+    get()
+    {
+        static const LogBufferTelemetry m = [] {
+            auto &r = telemetry::registry();
+            auto &t = telemetry::tracer();
+            LogBufferTelemetry s;
+            s.produced = r.counter("bfly.logbuffer.produced");
+            s.consumed = r.counter("bfly.logbuffer.consumed");
+            s.producerStalls = r.counter("bfly.logbuffer.producer_stalls");
+            s.consumerIdles = r.counter("bfly.logbuffer.consumer_idles");
+            s.heartbeats = r.counter("bfly.logbuffer.heartbeats");
+            s.occupancyHist = r.histogram("bfly.logbuffer.occupancy");
+            s.stallEvent = t.internName("logbuffer.stall");
+            s.heartbeatEvent = t.internName("logbuffer.heartbeat");
+            s.occupancyArg = t.internName("occupancy");
+            return s;
+        }();
+        return m;
+    }
+};
+
+} // namespace detail
 
 /** Occupancy model of a bounded single-producer single-consumer log. */
 class LogBuffer
@@ -49,10 +90,21 @@ class LogBuffer
     {
         if (full()) {
             ++producerStalls_;
+            if (telemetry::enabled()) {
+                const auto &m = detail::LogBufferTelemetry::get();
+                telemetry::registry().add(m.producerStalls);
+                telemetry::tracer().instant(
+                    m.stallEvent, telemetry::SpanTracer::kWallPid,
+                    telemetry::SpanTracer::currentTid(), m.occupancyArg,
+                    occupancy_);
+            }
             return false;
         }
         ++occupancy_;
         ++produced_;
+        if (telemetry::enabled())
+            telemetry::registry().add(
+                detail::LogBufferTelemetry::get().produced);
         return true;
     }
 
@@ -65,17 +117,45 @@ class LogBuffer
     {
         if (empty()) {
             ++consumerIdles_;
+            if (telemetry::enabled())
+                telemetry::registry().add(
+                    detail::LogBufferTelemetry::get().consumerIdles);
             return false;
         }
         --occupancy_;
         ++consumed_;
+        if (telemetry::enabled())
+            telemetry::registry().add(
+                detail::LogBufferTelemetry::get().consumed);
         return true;
+    }
+
+    /**
+     * Record a heartbeat marker passing through the log (epoch
+     * boundary): publishes the occupancy histogram sample plus an
+     * instant trace event, so a session trace shows where heartbeats
+     * landed relative to back-pressure stalls.
+     */
+    void
+    heartbeat()
+    {
+        ++heartbeats_;
+        if (telemetry::enabled()) {
+            const auto &m = detail::LogBufferTelemetry::get();
+            telemetry::registry().add(m.heartbeats);
+            telemetry::registry().observe(m.occupancyHist, occupancy_);
+            telemetry::tracer().instant(
+                m.heartbeatEvent, telemetry::SpanTracer::kWallPid,
+                telemetry::SpanTracer::currentTid(), m.occupancyArg,
+                occupancy_);
+        }
     }
 
     std::uint64_t producerStalls() const { return producerStalls_; }
     std::uint64_t consumerIdles() const { return consumerIdles_; }
     std::uint64_t produced() const { return produced_; }
     std::uint64_t consumed() const { return consumed_; }
+    std::uint64_t heartbeats() const { return heartbeats_; }
 
   private:
     std::size_t capacityRecords_;
@@ -84,6 +164,7 @@ class LogBuffer
     std::uint64_t consumed_ = 0;
     std::uint64_t producerStalls_ = 0;
     std::uint64_t consumerIdles_ = 0;
+    std::uint64_t heartbeats_ = 0;
 };
 
 } // namespace bfly
