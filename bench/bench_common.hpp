@@ -20,16 +20,98 @@
 #ifndef BUTTERFLY_BENCH_BENCH_COMMON_HPP
 #define BUTTERFLY_BENCH_BENCH_COMMON_HPP
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "harness/session.hpp"
 #include "telemetry/exporter.hpp"
 
 namespace bfly::bench {
+
+/**
+ * Output directory for the per-binary JSON result file, defaulting to
+ * the working directory; override with BFLY_BENCH_JSON_DIR.
+ */
+inline std::string
+benchJsonDir()
+{
+    const char *dir = std::getenv("BFLY_BENCH_JSON_DIR");
+    return dir ? dir : ".";
+}
+
+/**
+ * Collects (name, config, wall seconds, events/sec) rows and writes
+ * `BENCH_<binary>.json` at process exit, so every benchmark binary
+ * leaves a machine-readable record of the run for perf tracking.
+ */
+class JsonRecorder
+{
+  public:
+    static JsonRecorder &
+    get()
+    {
+        static JsonRecorder r;
+        return r;
+    }
+
+    void
+    record(std::string name, std::string config, double wall_seconds,
+           double events_per_sec)
+    {
+        rows_.push_back(Row{std::move(name), std::move(config),
+                            wall_seconds, events_per_sec});
+    }
+
+    ~JsonRecorder()
+    {
+        if (rows_.empty())
+            return;
+        const std::string path =
+            benchJsonDir() + "/BENCH_" + binaryName() + ".json";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f)
+            return;
+        std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
+                     binaryName().c_str());
+        for (std::size_t i = 0; i < rows_.size(); ++i) {
+            const Row &r = rows_[i];
+            std::fprintf(f,
+                         "    {\"name\": \"%s\", \"config\": \"%s\", "
+                         "\"wall_seconds\": %.6f, "
+                         "\"events_per_sec\": %.1f}%s\n",
+                         r.name.c_str(), r.config.c_str(), r.wallSeconds,
+                         r.eventsPerSec, i + 1 < rows_.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+    }
+
+    static std::string
+    binaryName()
+    {
+#if defined(__GLIBC__)
+        return program_invocation_short_name;
+#else
+        return "bench";
+#endif
+    }
+
+  private:
+    struct Row
+    {
+        std::string name;
+        std::string config;
+        double wallSeconds;
+        double eventsPerSec;
+    };
+    std::vector<Row> rows_;
+};
 
 /**
  * Telemetry capture directory for benchmark runs, or nullptr.
@@ -85,10 +167,23 @@ cachedSession(const std::string &workload, WorkloadFactory factory,
             telemetry::setEnabled(true);
             telemetry::resetAll(); // one export per session
         }
+        const auto t0 = std::chrono::steady_clock::now();
         it = cache
                  .emplace(key, runSession(paperSession(
                                    factory, threads, epoch_size)))
                  .first;
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        const std::string config = workload + "_t" +
+                                   std::to_string(threads) + "_h" +
+                                   std::to_string(epoch_size);
+        JsonRecorder::get().record(
+            "session", config, wall,
+            wall > 0.0 ? static_cast<double>(it->second.instructions) /
+                             wall
+                       : 0.0);
         if (dir) {
             const std::string stem = std::string(dir) + "/" + workload +
                                      "_t" + std::to_string(threads) +

@@ -166,9 +166,13 @@ BM_TwoPassVsParallelPasses(benchmark::State &state)
     acfg.heapBase = w.heapBase;
     acfg.heapLimit = w.heapLimit;
 
+    // One persistent pool for the whole measurement (as Session does);
+    // per-iteration cost is batch dispatch, not thread creation.
+    WorkerPool pool(8);
+    const WindowSchedule schedule(parallel, parallel ? &pool : nullptr);
     for (auto _ : state) {
         ButterflyAddrCheck butterfly(layout, acfg);
-        WindowSchedule(parallel).run(layout, butterfly);
+        schedule.run(layout, butterfly);
         benchmark::DoNotOptimize(butterfly.errors().size());
     }
     state.SetLabel(parallel ? "parallel-passes" : "sequential-passes");

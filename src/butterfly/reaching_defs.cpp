@@ -1,5 +1,8 @@
 #include "butterfly/reaching_defs.hpp"
 
+#include <algorithm>
+#include <unordered_map>
+
 #include "common/logging.hpp"
 
 namespace bfly {
@@ -44,15 +47,26 @@ ReachingDefinitions::priv(EpochId l, ThreadId t)
     return blocks_[l][t];
 }
 
+void
+ReachingDefinitions::beginPass(EpochId l, bool second)
+{
+    // Pre-size the per-epoch block storage on the scheduler thread; a
+    // resize during the parallel fan-out would invalidate references the
+    // sibling blocks are reading (computeLsos walks epochs l-1/l-2).
+    (void)second;
+    if (blocks_.size() <= l)
+        blocks_.resize(l + 1);
+    if (blocks_[l].size() < numThreads_)
+        blocks_[l].resize(numThreads_);
+}
+
 bool
 ReachingDefinitions::inKillBlock(DefId d, EpochId l, ThreadId t) const
 {
     if (l >= blocks_.size())
         return false;
     const BlockResults &res = priv(l, t).res;
-    auto it = loc_.find(d);
-    ensure(it != loc_.end(), "unknown definition id");
-    return res.killAddrs.contains(it->second) && !res.gen.contains(d);
+    return res.killAddrs.contains(locOf(d)) && !res.gen.contains(d);
 }
 
 bool
@@ -131,7 +145,6 @@ ReachingDefinitions::pass1(const BlockView &block)
             continue;
         const DefId d =
             InstrId{block.epoch, block.thread, i}.pack();
-        loc_[d] = *target;
         bp.defs.emplace_back(i, *target);
         bp.res.sideOut.insert(d); // generating is global (Section 5.1)
         bp.res.killAddrs.insert(*target);
@@ -240,8 +253,18 @@ ReachingDefinitions::inKillEpoch(DefId d, EpochId l) const
 Addr
 ReachingDefinitions::locOf(DefId d) const
 {
-    auto it = loc_.find(d);
-    ensure(it != loc_.end(), "unknown definition id");
+    // The id itself names the defining block; its (offset, addr) pairs
+    // are recorded in program order, so a binary search replaces the old
+    // globally-shared DefId->Addr map (which raced under parallel
+    // passes and cost a hash lookup per query).
+    const InstrId id = InstrId::unpack(d);
+    ensure(id.l < blocks_.size() && id.t < blocks_[id.l].size(),
+           "unknown definition id");
+    const auto &defs = blocks_[id.l][id.t].defs;
+    auto it = std::lower_bound(
+        defs.begin(), defs.end(), id.i,
+        [](const auto &p, InstrOffset i) { return p.first < i; });
+    ensure(it != defs.end() && it->first == id.i, "unknown definition id");
     return it->second;
 }
 

@@ -28,7 +28,6 @@
 
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/addr_set.hpp"
@@ -70,6 +69,7 @@ class ReachingDefinitions : public AnalysisDriver
     void pass1(const BlockView &block) override;
     void pass2(const BlockView &block) override;
     void finalizeEpoch(EpochId l) override;
+    void beginPass(EpochId l, bool second) override;
 
     /** SOS_l. Valid for l <= (last finalized epoch) + 2. */
     const DefSet &sos(EpochId l) const;
@@ -121,7 +121,6 @@ class ReachingDefinitions : public AnalysisDriver
     std::vector<std::vector<BlockPrivate>> blocks_; ///< [l][t]
     std::vector<DefSet> sos_;                       ///< [l]
     std::vector<DefSet> genEpoch_;                  ///< [l]
-    std::unordered_map<DefId, Addr> loc_;
 };
 
 } // namespace bfly

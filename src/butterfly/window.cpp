@@ -1,6 +1,5 @@
 #include "butterfly/window.hpp"
 
-#include <thread>
 #include <vector>
 
 #include "telemetry/metrics.hpp"
@@ -49,17 +48,36 @@ struct WindowTelemetry
 
 } // namespace
 
+WorkerPool &
+WindowSchedule::ensurePool(std::size_t nthreads) const
+{
+    if (pool_)
+        return *pool_;
+    if (!owned_)
+        owned_ = std::make_unique<WorkerPool>(nthreads);
+    return *owned_;
+}
+
 void
 WindowSchedule::runPass(const EpochLayout &layout, EpochId l, bool second,
                         AnalysisDriver &driver) const
 {
     const std::size_t nthreads = layout.numThreads();
     const bool traced = telemetry::enabled();
-    auto work = [&](ThreadId t) {
-        // Worker t writes its spans to timeline track t+1 (track 0 is
-        // the scheduler thread); passes are join-separated, so each
-        // track keeps a single writer at any moment.
-        const BlockView block = layout.block(l, t);
+    const WindowTelemetry *w = traced ? &WindowTelemetry::get() : nullptr;
+
+    // Give drivers one single-threaded hook to pre-size shared state
+    // before blocks fan out.
+    driver.beginPass(l, second);
+
+    // Resolve every block view once, on the scheduler thread.
+    std::vector<BlockView> blocks;
+    blocks.reserve(nthreads);
+    for (ThreadId t = 0; t < nthreads; ++t)
+        blocks.push_back(layout.block(l, t));
+
+    auto work = [&](std::size_t t) {
+        const BlockView &block = blocks[t];
         if (!traced) {
             if (second)
                 driver.pass2(block);
@@ -67,34 +85,30 @@ WindowSchedule::runPass(const EpochLayout &layout, EpochId l, bool second,
                 driver.pass1(block);
             return;
         }
-        const WindowTelemetry &w = WindowTelemetry::get();
+        // Worker t writes its spans to timeline track t+1 (track 0 is
+        // the scheduler thread); each block index is claimed by exactly
+        // one pool worker per pass, so each track keeps a single writer
+        // at any moment.
         telemetry::ScopedTid tid(static_cast<std::uint16_t>(t + 1));
-        telemetry::TraceSpan span(second ? w.blockPass2Span
-                                         : w.blockPass1Span,
-                                  w.epochArg, l);
+        telemetry::TraceSpan span(second ? w->blockPass2Span
+                                         : w->blockPass1Span,
+                                  w->epochArg, l);
         if (second)
             driver.pass2(block);
         else
             driver.pass1(block);
     };
 
-    if (traced) {
-        const WindowTelemetry &w = WindowTelemetry::get();
-        telemetry::registry().add(second ? w.pass2Blocks : w.pass1Blocks,
+    if (traced)
+        telemetry::registry().add(second ? w->pass2Blocks : w->pass1Blocks,
                                   nthreads);
-    }
 
     if (!parallelPasses_ || nthreads <= 1) {
-        for (ThreadId t = 0; t < nthreads; ++t)
+        for (std::size_t t = 0; t < nthreads; ++t)
             work(t);
         return;
     }
-    std::vector<std::thread> pool;
-    pool.reserve(nthreads);
-    for (ThreadId t = 0; t < nthreads; ++t)
-        pool.emplace_back(work, t);
-    for (std::thread &th : pool)
-        th.join();
+    ensurePool(nthreads).run(nthreads, work);
 }
 
 void

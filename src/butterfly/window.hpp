@@ -24,7 +24,9 @@
 #define BUTTERFLY_BUTTERFLY_WINDOW_HPP
 
 #include <cstddef>
+#include <memory>
 
+#include "common/worker_pool.hpp"
 #include "trace/epoch_slicer.hpp"
 
 namespace bfly {
@@ -52,6 +54,20 @@ class AnalysisDriver
      * summary into the SOS (single-writer).
      */
     virtual void finalizeEpoch(EpochId l) = 0;
+
+    /**
+     * Called on the scheduler thread immediately before the per-block
+     * fan-out of a pass over epoch @p l (@p second selects pass 2).
+     * Drivers that grow shared containers lazily (e.g. the per-epoch
+     * block vectors in reaching_defs) override this to pre-size them
+     * single-threaded, so the parallel blocks only touch disjoint,
+     * already-allocated slots.
+     */
+    virtual void beginPass(EpochId l, bool second)
+    {
+        (void)l;
+        (void)second;
+    }
 };
 
 /** Drives an AnalysisDriver over a trace in butterfly window order. */
@@ -59,12 +75,18 @@ class WindowSchedule
 {
   public:
     /**
-     * @param parallel_passes  run each pass's per-thread blocks on real
-     *                         std::threads (demonstrates the lock-free
-     *                         schedule; results must equal sequential)
+     * @param parallel_passes  run each pass's per-thread blocks on a
+     *                         persistent worker pool (demonstrates the
+     *                         lock-free schedule; results must equal
+     *                         sequential)
+     * @param pool             pool to dispatch on; borrowed, must outlive
+     *                         the schedule. When null and parallel passes
+     *                         are requested, the schedule lazily creates
+     *                         its own pool sized to the trace's threads.
      */
-    explicit WindowSchedule(bool parallel_passes = false)
-        : parallelPasses_(parallel_passes)
+    explicit WindowSchedule(bool parallel_passes = false,
+                            WorkerPool *pool = nullptr)
+        : parallelPasses_(parallel_passes), pool_(pool)
     {}
 
     /** Process the whole trace. */
@@ -73,8 +95,11 @@ class WindowSchedule
   private:
     void runPass(const EpochLayout &layout, EpochId l, bool second,
                  AnalysisDriver &driver) const;
+    WorkerPool &ensurePool(std::size_t nthreads) const;
 
     bool parallelPasses_;
+    WorkerPool *pool_;
+    mutable std::unique_ptr<WorkerPool> owned_;
 };
 
 } // namespace bfly

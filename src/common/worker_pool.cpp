@@ -1,0 +1,108 @@
+#include "worker_pool.hpp"
+
+namespace bfly {
+
+WorkerPool::WorkerPool(std::size_t workers)
+{
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0)
+            workers = 1;
+    }
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wakeCv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+WorkerPool::runBatch(std::size_t count, void (*fn)(void *, std::size_t),
+                     void *ctx)
+{
+    if (count == 0)
+        return;
+
+    // Partition the monotonic ticket space: skip one slack ticket per
+    // thread so any straggler still finishing its terminal fetch-add
+    // from the previous batch lands below start and is discarded.
+    const std::uint64_t start =
+        next_.load(std::memory_order_relaxed) + threads_.size() + 1;
+
+    jobFn_ = fn;
+    jobCtx_ = ctx;
+    pending_.store(count, std::memory_order_relaxed);
+    start_.store(start, std::memory_order_relaxed);
+    next_.store(start, std::memory_order_relaxed);
+    // end_ is the publication flag: workers acquire-load it in drain()
+    // and only then read the fields above.
+    end_.store(start + count, std::memory_order_release);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++generation_;
+    }
+    wakeCv_.notify_all();
+
+    // The submitter helps; with count <= workers+1 it often finishes the
+    // whole batch before a parked worker even wakes.
+    drain();
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    doneCv_.wait(lock, [this] {
+        return pending_.load(std::memory_order_acquire) == 0;
+    });
+}
+
+void
+WorkerPool::drain()
+{
+    const std::uint64_t start = start_.load(std::memory_order_relaxed);
+    for (;;) {
+        const std::uint64_t ticket =
+            next_.fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t end = end_.load(std::memory_order_acquire);
+        if (ticket >= end)
+            break;
+        if (ticket < start)
+            continue; // stale ticket from a previous batch's slack
+        jobFn_(jobCtx_, static_cast<std::size_t>(ticket - start));
+        if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            // Pair with the submitter's predicate wait: the empty
+            // critical section orders this notify after the submitter
+            // either observed pending_ != 0 and blocked, or never
+            // blocks at all.
+            { std::lock_guard<std::mutex> lock(mutex_); }
+            doneCv_.notify_all();
+        }
+    }
+}
+
+void
+WorkerPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wakeCv_.wait(lock, [&] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+        }
+        drain();
+    }
+}
+
+} // namespace bfly

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Persistent worker pool with a generation-counter barrier.
+ *
+ * The butterfly window schedule runs two parallel passes per epoch. The
+ * original implementation paid a full std::thread spawn+join round-trip
+ * for every pass, which dominated the measured per-epoch cost and hid
+ * the paper's "no synchronization on metadata" property behind substrate
+ * overhead. This pool keeps a fixed set of long-lived threads parked on
+ * a condition variable; dispatching a batch is one generation bump plus
+ * a notify, and items are claimed with a single atomic fetch-add each.
+ *
+ * Batch protocol (see DESIGN.md "Performance substrate"):
+ *  - tickets are drawn from one monotonically increasing counter that is
+ *    never reset; each batch owns the half-open ticket range
+ *    [start, start+count) and an item is `ticket - start`;
+ *  - `start` skips one slack ticket per thread past the counter's current
+ *    value, so a straggler's final (losing) fetch-add from the previous
+ *    batch can never alias an item of this one;
+ *  - workers park on a generation counter; the submitter bumps it under
+ *    the mutex and then helps drain the batch itself;
+ *  - completion is an atomic countdown; the last decrement wakes the
+ *    submitter via a second condition variable.
+ *
+ * One batch may be in flight at a time (the window schedule is strictly
+ * pass-by-pass); runBatch must not be called concurrently or reentrantly.
+ */
+
+#ifndef BUTTERFLY_COMMON_WORKER_POOL_HPP
+#define BUTTERFLY_COMMON_WORKER_POOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace bfly {
+
+/** Fixed set of long-lived threads executing indexed batches. */
+class WorkerPool
+{
+  public:
+    /** @param workers  thread count; 0 picks hardware_concurrency. */
+    explicit WorkerPool(std::size_t workers = 0);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    std::size_t workers() const { return threads_.size(); }
+
+    /**
+     * Run @p fn(i) for every i in [0, count); blocks until all items
+     * completed. The callable is borrowed for the duration of the call
+     * only — no allocation, no copy.
+     */
+    template <typename Fn>
+    void
+    run(std::size_t count, Fn &&fn)
+    {
+        // Wrap in a local lambda so plain functions (whose address is a
+        // function pointer, not convertible to void*) also work.
+        auto thunk = [&fn](std::size_t i) { fn(i); };
+        runBatch(
+            count,
+            [](void *ctx, std::size_t i) {
+                (*static_cast<decltype(thunk) *>(ctx))(i);
+            },
+            std::addressof(thunk));
+    }
+
+    /** Type-erased batch entry point; see run(). */
+    void runBatch(std::size_t count, void (*fn)(void *, std::size_t),
+                  void *ctx);
+
+  private:
+    void workerLoop();
+    /** Claim and execute items until the current batch is exhausted. */
+    void drain();
+
+    std::vector<std::thread> threads_;
+
+    std::mutex mutex_;
+    std::condition_variable wakeCv_; ///< workers park here
+    std::condition_variable doneCv_; ///< submitter parks here
+    std::uint64_t generation_ = 0;   ///< bumped once per batch
+    bool stop_ = false;
+
+    // Current batch; published before end_ (release), read after an
+    // acquire load of end_.
+    void (*jobFn_)(void *, std::size_t) = nullptr;
+    void *jobCtx_ = nullptr;
+    std::atomic<std::uint64_t> start_{0};
+    std::atomic<std::uint64_t> end_{0};
+    std::atomic<std::uint64_t> next_{0};    ///< monotonic ticket counter
+    std::atomic<std::size_t> pending_{0};   ///< items not yet finished
+};
+
+} // namespace bfly
+
+#endif // BUTTERFLY_COMMON_WORKER_POOL_HPP

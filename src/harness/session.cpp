@@ -81,7 +81,12 @@ runSession(const SessionConfig &config)
     acfg.heapLimit = workload.heapLimit;
 
     ButterflyAddrCheck butterfly(layout, acfg);
-    WindowSchedule schedule(config.parallelPasses);
+    // One persistent pool per run: its threads service every pass of the
+    // schedule instead of being spawned and joined twice per epoch.
+    std::unique_ptr<WorkerPool> pool;
+    if (config.parallelPasses && trace.numThreads() > 1)
+        pool = std::make_unique<WorkerPool>(trace.numThreads());
+    WindowSchedule schedule(config.parallelPasses, pool.get());
     {
         telemetry::TraceSpan span("session.butterfly");
         schedule.run(layout, butterfly);

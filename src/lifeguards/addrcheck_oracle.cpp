@@ -30,12 +30,17 @@ AddrCheckOracle::checkKeys(ThreadId tid, std::uint64_t index, Addr base,
         return;
     const Addr first = config_.keyOf(base);
     const Addr last = config_.keyOf(base + (size > 0 ? size - 1 : 0));
-    for (Addr k = first; k <= last; ++k) {
-        ++eventsChecked_;
-        const bool is_allocated = allocated_.get(k) != 0;
-        if (is_allocated != want_allocated)
-            errors_.report(tid, index, base, kind_if_bad, size);
-    }
+    const std::size_t count = static_cast<std::size_t>(last - first) + 1;
+    eventsChecked_ += count;
+    // One span walk instead of one shadow lookup per key. The log
+    // coalesces repeated reports of the same event, so flagging the
+    // event once is equivalent to the old per-key reporting.
+    bool any_bad = false;
+    allocated_.forEachInRange(first, count, [&](std::uint8_t v) {
+        any_bad |= (v != 0) != want_allocated;
+    });
+    if (any_bad)
+        errors_.report(tid, index, base, kind_if_bad, size);
 }
 
 void
@@ -50,8 +55,8 @@ AddrCheckOracle::processOne(ThreadId tid, std::uint64_t index,
             const Addr first = config_.keyOf(e.addr);
             const Addr last = config_.keyOf(
                 e.addr + (e.size > 0 ? e.size - 1 : 0));
-            for (Addr k = first; k <= last; ++k)
-                allocated_.set(k, 1);
+            allocated_.setRange(
+                first, static_cast<std::size_t>(last - first) + 1, 1);
         }
         break;
       }
@@ -62,8 +67,8 @@ AddrCheckOracle::processOne(ThreadId tid, std::uint64_t index,
             const Addr first = config_.keyOf(e.addr);
             const Addr last = config_.keyOf(
                 e.addr + (e.size > 0 ? e.size - 1 : 0));
-            for (Addr k = first; k <= last; ++k)
-                allocated_.set(k, 0);
+            allocated_.setRange(
+                first, static_cast<std::size_t>(last - first) + 1, 0);
         }
         break;
       }

@@ -62,6 +62,12 @@ ButterflyDefCheck::pass1(const BlockView &block)
 }
 
 void
+ButterflyDefCheck::beginPass(EpochId l, bool second)
+{
+    exprs_.beginPass(l, second);
+}
+
+void
 ButterflyDefCheck::pass2(const BlockView &block)
 {
     exprs_.pass2(block);
@@ -70,6 +76,8 @@ ButterflyDefCheck::pass2(const BlockView &block)
     // paths — membership in the generic analysis's IN_{l,t,i}.
     const EpochId l = block.epoch;
     const ThreadId t = block.thread;
+    // Pass-2 blocks run concurrently; buffer reports and commit once.
+    std::vector<ErrorRecord> block_errors;
     std::vector<Addr> keys;
     for (InstrOffset i = 0; i < block.size(); ++i) {
         const Event &e = block.events[i];
@@ -96,14 +104,18 @@ ButterflyDefCheck::pass2(const BlockView &block)
             keysOf(config_, base, size, keys);
             for (Addr k : keys) {
                 if (!in.contains(k)) {
-                    errors_.report(t, layout_.globalIndex(l, t, i),
-                                   base,
-                                   ErrorKind::UninitializedRead, size);
+                    block_errors.push_back(ErrorRecord{
+                        t, layout_.globalIndex(l, t, i), base,
+                        ErrorKind::UninitializedRead, size});
                     break;
                 }
             }
         }
     }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const ErrorRecord &rec : block_errors)
+        errors_.report(rec);
 }
 
 void

@@ -232,7 +232,7 @@ ButterflyTaintCheck::wingsTaint(Addr key, CheckCtx &ctx)
 bool
 ButterflyTaintCheck::resolveKey(Addr key, CheckCtx &ctx)
 {
-    ++checksResolved_;
+    ++ctx.resolved;
     const bool relaxed = termination_ == TaintTermination::Relaxed;
 
     // Phase-one roots (Lemma 6.3): taints concluded over epochs l-1..l,
@@ -372,6 +372,11 @@ ButterflyTaintCheck::pass2(const BlockView &block)
     std::unordered_map<Addr, bool> last_check_phase[2];
     std::unordered_map<Addr, std::int64_t> roots;
 
+    // Pass-2 blocks run concurrently; buffer shared-state updates and
+    // commit them once at the end of the block.
+    std::vector<ErrorRecord> block_errors;
+    std::uint64_t block_resolved = 0;
+
     auto keys_over = [&](Addr base, std::uint16_t size, auto &&fn) {
         if (base == kNoAddr)
             return;
@@ -440,8 +445,8 @@ ButterflyTaintCheck::pass2(const BlockView &block)
                 const bool tainted =
                     resolveKey(config_.keyOf(e.addr), ctx);
                 if (tainted) {
-                    errors_.report(t, index, e.addr,
-                                   ErrorKind::TaintedUse, e.size);
+                    block_errors.push_back(ErrorRecord{
+                        t, index, e.addr, ErrorKind::TaintedUse, e.size});
                 }
                 break;
               }
@@ -457,6 +462,14 @@ ButterflyTaintCheck::pass2(const BlockView &block)
             roots = phaseOneFixpoint(l, t, ctx.wingLo, ctx.wingHi,
                                      local_taint_offset);
         }
+        block_resolved += ctx.resolved;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        checksResolved_ += block_resolved;
+        for (const ErrorRecord &rec : block_errors)
+            errors_.report(rec);
     }
 
     // LASTCHECK = OR of the two phases' last-write resolutions.

@@ -35,6 +35,7 @@
 
 #include <array>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -146,6 +147,9 @@ class ButterflyTaintCheck : public AnalysisDriver
         /** Relaxed termination: keys on the current path. */
         std::vector<Addr> path;
         unsigned depth = 0;
+        /** Resolutions performed through this context (committed to the
+         *  shared counter at end of pass 2, under the mutex). */
+        std::uint64_t resolved = 0;
     };
 
     /** Could @p key be tainted under some permitted interleaving? */
@@ -175,6 +179,9 @@ class ButterflyTaintCheck : public AnalysisDriver
     AddrSet sosPrev_; ///< SOS_l   while pass 2 of epoch l runs
     AddrSet sosCur_;  ///< SOS_{l+1} (already advanced by finalize(l-1))
 
+    /** Guards errors_ and checksResolved_: pass-2 blocks run in parallel
+     *  and buffer their reports locally, committing once per block. */
+    std::mutex mutex_;
     ErrorLog errors_;
     std::uint64_t checksResolved_ = 0;
 };

@@ -1,5 +1,9 @@
 /** @file Unit tests for src/common: sets, shadow memory, heap, RNG, stats. */
 
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "common/addr_set.hpp"
@@ -57,6 +61,177 @@ TEST(FlatSet, SubtractPicksCheaperDirection)
     EXPECT_EQ(small.sorted(), (std::vector<Addr>{1, 50, 99, 200}));
 }
 
+TEST(FlatSet, GrowsPastInlineBuffer)
+{
+    AddrSet s;
+    for (Addr k = 0; k < 100; ++k) {
+        s.insert(k * 3);
+        ASSERT_EQ(s.size(), static_cast<std::size_t>(k) + 1);
+    }
+    for (Addr k = 0; k < 100; ++k) {
+        EXPECT_TRUE(s.contains(k * 3));
+        EXPECT_FALSE(s.contains(k * 3 + 1));
+    }
+    std::size_t seen = 0;
+    for (Addr k : s) {
+        EXPECT_EQ(k % 3, 0u);
+        ++seen;
+    }
+    EXPECT_EQ(seen, 100u);
+}
+
+TEST(FlatSet, SentinelValueIsStorable)
+{
+    // All-ones marks empty slots internally; it must still be a normal
+    // element from the outside (kNoAddr is a legitimate key value).
+    AddrSet s;
+    s.insert(kNoAddr);
+    EXPECT_TRUE(s.contains(kNoAddr));
+    EXPECT_EQ(s.size(), 1u);
+    for (Addr k = 0; k < 50; ++k)
+        s.insert(k); // force migration to the table with kNoAddr present
+    EXPECT_TRUE(s.contains(kNoAddr));
+    EXPECT_EQ(s.size(), 51u);
+    EXPECT_EQ(s.sorted().back(), kNoAddr);
+    s.erase(kNoAddr);
+    EXPECT_FALSE(s.contains(kNoAddr));
+    EXPECT_EQ(s.size(), 50u);
+}
+
+TEST(FlatSet, CopyAndMoveSemantics)
+{
+    AddrSet a;
+    for (Addr k = 0; k < 40; ++k)
+        a.insert(k * 7);
+    AddrSet b = a;
+    b.insert(1);
+    EXPECT_EQ(a.size(), 40u);
+    EXPECT_EQ(b.size(), 41u);
+    AddrSet c = std::move(b);
+    EXPECT_EQ(c.size(), 41u);
+    EXPECT_TRUE(c.contains(1));
+    a = c;
+    EXPECT_TRUE(a == c);
+    AddrSet small{1, 2};
+    AddrSet moved = std::move(small);
+    EXPECT_EQ(moved.sorted(), (std::vector<Addr>{1, 2}));
+}
+
+/** Model-based property test: FlatSet vs std::unordered_set under a
+ *  randomized op sequence covering both storage regimes. */
+TEST(FlatSet, MatchesUnorderedSetModel)
+{
+    Rng rng(0xbf1f);
+    for (int trial = 0; trial < 20; ++trial) {
+        AddrSet sut;
+        std::unordered_set<Addr> model;
+        // Key universe small enough to hit duplicate inserts, erases of
+        // present keys, and the inline->table migration both ways.
+        const Addr universe = 1 + rng.below(60);
+        for (int step = 0; step < 400; ++step) {
+            Addr k = rng.below(universe);
+            if (rng.chance(0.02))
+                k = kNoAddr; // exercise the sentinel path
+            switch (rng.below(3)) {
+              case 0:
+                sut.insert(k);
+                model.insert(k);
+                break;
+              case 1:
+                sut.erase(k);
+                model.erase(k);
+                break;
+              default:
+                ASSERT_EQ(sut.contains(k), model.count(k) != 0)
+                    << "trial " << trial << " step " << step;
+                break;
+            }
+            ASSERT_EQ(sut.size(), model.size())
+                << "trial " << trial << " step " << step;
+        }
+        std::vector<Addr> expected(model.begin(), model.end());
+        std::sort(expected.begin(), expected.end());
+        EXPECT_EQ(sut.sorted(), expected) << "trial " << trial;
+    }
+}
+
+/** Model-based property test for the set algebra used by the dataflow
+ *  equations: union / intersect / subtract / intersects / equality. */
+TEST(FlatSet, AlgebraMatchesUnorderedSetModel)
+{
+    Rng rng(0xa15e);
+    auto random_pair = [&](std::size_t max_n, AddrSet &s,
+                           std::unordered_set<Addr> &m) {
+        const std::size_t n = rng.below(max_n + 1);
+        const Addr universe = 1 + rng.below(4 * (max_n + 1));
+        for (std::size_t i = 0; i < n; ++i) {
+            Addr k = rng.below(universe);
+            if (rng.chance(0.05))
+                k = kNoAddr - rng.below(3); // near-sentinel keys
+            s.insert(k);
+            m.insert(k);
+        }
+    };
+    auto sorted_model = [](const std::unordered_set<Addr> &m) {
+        std::vector<Addr> v(m.begin(), m.end());
+        std::sort(v.begin(), v.end());
+        return v;
+    };
+
+    for (int trial = 0; trial < 30; ++trial) {
+        // Mix the regimes: some trials stay inline, some go to tables.
+        const std::size_t max_n = trial % 3 == 0 ? 6 : 200;
+        AddrSet a, b;
+        std::unordered_set<Addr> ma, mb;
+        random_pair(max_n, a, ma);
+        random_pair(max_n, b, mb);
+
+        AddrSet u = a;
+        u.unionWith(b);
+        std::unordered_set<Addr> mu = ma;
+        mu.insert(mb.begin(), mb.end());
+        EXPECT_EQ(u.sorted(), sorted_model(mu)) << "trial " << trial;
+
+        AddrSet i = a;
+        i.intersectWith(b);
+        std::unordered_set<Addr> mi;
+        for (Addr k : ma)
+            if (mb.count(k))
+                mi.insert(k);
+        EXPECT_EQ(i.sorted(), sorted_model(mi)) << "trial " << trial;
+
+        AddrSet d = a;
+        d.subtract(b);
+        std::unordered_set<Addr> md;
+        for (Addr k : ma)
+            if (!mb.count(k))
+                md.insert(k);
+        EXPECT_EQ(d.sorted(), sorted_model(md)) << "trial " << trial;
+
+        EXPECT_EQ(a.intersects(b), !mi.empty()) << "trial " << trial;
+        EXPECT_EQ(a == b, sorted_model(ma) == sorted_model(mb))
+            << "trial " << trial;
+        EXPECT_TRUE(i == setIntersect(b, a)) << "trial " << trial;
+    }
+}
+
+TEST(FlatSet, BackwardShiftEraseKeepsProbeChainsIntact)
+{
+    // Adversarial pattern for linear probing: long runs of keys, erased
+    // from the middle, must not strand later keys in the run.
+    AddrSet s;
+    std::vector<Addr> keys;
+    Rng rng(99);
+    for (int i = 0; i < 500; ++i)
+        keys.push_back(rng.next());
+    for (Addr k : keys)
+        s.insert(k);
+    for (std::size_t i = 0; i < keys.size(); i += 2)
+        s.erase(keys[i]);
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        EXPECT_EQ(s.contains(keys[i]), i % 2 == 1) << "key index " << i;
+}
+
 TEST(ShadowMemory, DefaultValueWithoutAllocation)
 {
     ShadowMemory<std::uint8_t> shadow(7);
@@ -83,6 +258,84 @@ TEST(ShadowMemory, RangeOperations)
     EXPECT_FALSE(shadow.rangeEquals(99, 2, 1));
     shadow.clear();
     EXPECT_EQ(shadow.get(120), 0);
+}
+
+TEST(ShadowMemory, RangeOpsCrossPageBoundaries)
+{
+    ShadowMemory<std::uint8_t> shadow(0);
+    const Addr base = (1 << 12) - 100; // straddles pages 0 and 1
+    shadow.setRange(base, 200, 9);
+    EXPECT_TRUE(shadow.rangeEquals(base, 200, 9));
+    EXPECT_EQ(shadow.get(base), 9);
+    EXPECT_EQ(shadow.get(base + 199), 9);
+    EXPECT_EQ(shadow.get(base - 1), 0);
+    EXPECT_EQ(shadow.get(base + 200), 0);
+    EXPECT_EQ(shadow.allocatedPages(), 2u);
+
+    // A span longer than a full page.
+    shadow.setRange(0x10000, 3 * 4096 + 5, 3);
+    EXPECT_TRUE(shadow.rangeEquals(0x10000, 3 * 4096 + 5, 3));
+    EXPECT_FALSE(shadow.rangeEquals(0x10000, 3 * 4096 + 6, 3));
+}
+
+TEST(ShadowMemory, RangeEqualsOnUntouchedPagesComparesDefault)
+{
+    ShadowMemory<std::uint8_t> shadow(7);
+    // Nothing allocated: every entry reads the default.
+    EXPECT_TRUE(shadow.rangeEquals(0x5000, 10000, 7));
+    EXPECT_FALSE(shadow.rangeEquals(0x5000, 10000, 8));
+    EXPECT_EQ(shadow.allocatedPages(), 0u);
+    // A touched page in the middle of an untouched span.
+    shadow.set(0x7000, 1);
+    EXPECT_FALSE(shadow.rangeEquals(0x5000, 0x3000, 7));
+    shadow.set(0x7000, 7);
+    EXPECT_TRUE(shadow.rangeEquals(0x5000, 0x3000, 7));
+}
+
+TEST(ShadowMemory, ForEachInRangeVisitsEveryEntryInOrder)
+{
+    ShadowMemory<std::uint16_t> shadow(5);
+    shadow.set(4095, 10); // last entry of page 0
+    shadow.set(4096, 11); // first entry of page 1
+    std::vector<std::uint16_t> seen;
+    shadow.forEachInRange(4094, 4, [&](std::uint16_t v) {
+        seen.push_back(v);
+    });
+    EXPECT_EQ(seen, (std::vector<std::uint16_t>{5, 10, 11, 5}));
+    EXPECT_EQ(shadow.allocatedPages(), 2u); // read-only: no allocation
+
+    std::size_t count = 0;
+    std::uint64_t sum = 0;
+    shadow.forEachInRange(0x100000, 2 * 4096 + 7, [&](std::uint16_t v) {
+        ++count;
+        sum += v;
+    });
+    EXPECT_EQ(count, 2u * 4096 + 7);
+    EXPECT_EQ(sum, (2u * 4096 + 7) * 5);
+    EXPECT_EQ(shadow.allocatedPages(), 2u);
+}
+
+TEST(ShadowMemory, LastPageCacheStaysCoherent)
+{
+    ShadowMemory<std::uint8_t> shadow(0);
+    // Miss-then-allocate on the same page: the cached "absent" result
+    // must be invalidated by the allocation.
+    EXPECT_EQ(shadow.get(0x2000), 0);
+    shadow.set(0x2000, 4);
+    EXPECT_EQ(shadow.get(0x2000), 4);
+    EXPECT_EQ(shadow.get(0x2001), 0);
+    // Alternating pages exercise cache replacement.
+    shadow.set(0x5000, 1);
+    shadow.set(0x6000, 2);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(shadow.get(0x5000), 1);
+        EXPECT_EQ(shadow.get(0x6000), 2);
+    }
+    // clear() must also drop the cache.
+    shadow.clear();
+    EXPECT_EQ(shadow.get(0x5000), 0);
+    shadow.set(0x5000, 9);
+    EXPECT_EQ(shadow.get(0x5000), 9);
 }
 
 TEST(SimHeap, AllocateAndFree)
