@@ -72,9 +72,14 @@ class JsonRecorder
     {
         if (rows_.empty())
             return;
+        // Write-then-rename so a crash (or two binaries racing on the
+        // same output directory) never leaves a truncated JSON file for
+        // the CI parser to choke on: readers see the old file or the
+        // complete new one, nothing in between.
         const std::string path =
             benchJsonDir() + "/BENCH_" + binaryName() + ".json";
-        std::FILE *f = std::fopen(path.c_str(), "w");
+        const std::string tmp = path + ".tmp";
+        std::FILE *f = std::fopen(tmp.c_str(), "w");
         if (!f)
             return;
         std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n",
@@ -89,7 +94,9 @@ class JsonRecorder
                          r.eventsPerSec, i + 1 < rows_.size() ? "," : "");
         }
         std::fprintf(f, "  ]\n}\n");
-        std::fclose(f);
+        const bool ok = std::fclose(f) == 0;
+        if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0)
+            std::remove(tmp.c_str());
     }
 
     static std::string

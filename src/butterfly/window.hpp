@@ -68,6 +68,39 @@ class AnalysisDriver
         (void)l;
         (void)second;
     }
+
+    /**
+     * Ordering constraint the pipelined (dependency-graph) schedule must
+     * honor for this driver. The default — true — reproduces the
+     * sequential pattern exactly: finalizeEpoch(l) waits for pass 2 of
+     * epoch l and gates pass 2 of epoch l+1. This is required whenever
+     * pass 2 reads SOS state that finalizeEpoch advances, or
+     * finalizeEpoch reads pass-2 results (TAINTCHECK does both), and it
+     * also makes every finalize a quiescent point at which beginPass may
+     * safely resize shared containers (reaching_defs/exprs).
+     *
+     * Drivers whose pass 2 and finalizeEpoch consume only pass-1
+     * summaries (ADDRCHECK) return false: finalizeEpoch then only waits
+     * for pass 1 of its own window, so pass 1 of epoch l+1 overlaps
+     * pass 2 of epoch l-1 with no global synchronization at all. A
+     * relaxed driver must tolerate beginPass being called while pass-2
+     * tasks of older epochs are still running (i.e. not override it, or
+     * make it thread-safe).
+     */
+    virtual bool finalizeAfterPass2() const { return true; }
+};
+
+/** Observability counters from one pipelined (task-graph) run. */
+struct PipelineStats
+{
+    std::size_t tasksRun = 0;         ///< graph tasks executed
+    std::size_t epochsFinalized = 0;  ///< finalize tasks executed
+    /** High-water mark of simultaneously resident epochs (streaming
+     *  source only; 0 for a materialized layout, which is all-resident
+     *  by definition). */
+    std::size_t peakResidentEpochs = 0;
+    /** Producer stalls recorded by the stream's back-pressure buffer. */
+    std::uint64_t producerStalls = 0;
 };
 
 /** Drives an AnalysisDriver over a trace in butterfly window order. */
@@ -89,8 +122,29 @@ class WindowSchedule
         : parallelPasses_(parallel_passes), pool_(pool)
     {}
 
-    /** Process the whole trace. */
+    /** Process the whole trace pass-by-pass (barrier after every pass). */
     void run(const EpochLayout &layout, AnalysisDriver &driver) const;
+
+    /**
+     * Process the whole trace as a dependency task graph: each block-pass
+     * and each finalize is one task that becomes runnable the instant its
+     * prerequisites complete, so pass 1 of epoch l+1 overlaps pass 2 of
+     * epoch l-1 and a thread with a heavy block never stalls the whole
+     * window behind a barrier. Produces bit-identical analysis results to
+     * run() for any driver (sequential-equivalence guarantee — see
+     * DESIGN.md "Pipelined scheduler").
+     */
+    PipelineStats runPipelined(const EpochLayout &layout,
+                               AnalysisDriver &driver) const;
+
+    /**
+     * Pipelined run over a streaming source: epochs are admitted into the
+     * stream's bounded ring as the graph reaches them and retired once no
+     * remaining task can read their events, keeping resident event memory
+     * O(window) regardless of trace length.
+     */
+    PipelineStats runPipelined(EpochStream &stream,
+                               AnalysisDriver &driver) const;
 
   private:
     void runPass(const EpochLayout &layout, EpochId l, bool second,

@@ -1,14 +1,27 @@
 #include "worker_pool.hpp"
 
+#include "common/logging.hpp"
+
 namespace bfly {
+
+namespace {
+
+std::size_t
+defaultWorkerCount()
+{
+    const std::size_t hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace
+
+WorkerPool::WorkerPool() : WorkerPool(defaultWorkerCount()) {}
 
 WorkerPool::WorkerPool(std::size_t workers)
 {
-    if (workers == 0) {
-        workers = std::thread::hardware_concurrency();
-        if (workers == 0)
-            workers = 1;
-    }
+    ensure(workers > 0,
+           "WorkerPool needs at least one thread (a zero-thread pool "
+           "would park every dispatch forever)");
     threads_.reserve(workers);
     for (std::size_t i = 0; i < workers; ++i)
         threads_.emplace_back([this] { workerLoop(); });
@@ -31,77 +44,88 @@ WorkerPool::runBatch(std::size_t count, void (*fn)(void *, std::size_t),
 {
     if (count == 0)
         return;
-
-    // Partition the monotonic ticket space: skip one slack ticket per
-    // thread so any straggler still finishing its terminal fetch-add
-    // from the previous batch lands below start and is discarded.
-    const std::uint64_t start =
-        next_.load(std::memory_order_relaxed) + threads_.size() + 1;
-
-    jobFn_ = fn;
-    jobCtx_ = ctx;
-    pending_.store(count, std::memory_order_relaxed);
-    start_.store(start, std::memory_order_relaxed);
-    next_.store(start, std::memory_order_relaxed);
-    // end_ is the publication flag: workers acquire-load it in drain()
-    // and only then read the fields above.
-    end_.store(start + count, std::memory_order_release);
-
+    // Count before publishing: the items must never be observable in the
+    // queue while outstanding_ could still read as drained.
+    outstanding_.fetch_add(count, std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        ++generation_;
+        for (std::size_t i = 0; i < count; ++i)
+            tasks_.push_back(Task{fn, ctx, i});
     }
     wakeCv_.notify_all();
-
-    // The submitter helps; with count <= workers+1 it often finishes the
-    // whole batch before a parked worker even wakes.
-    drain();
-
-    std::unique_lock<std::mutex> lock(mutex_);
-    doneCv_.wait(lock, [this] {
-        return pending_.load(std::memory_order_acquire) == 0;
-    });
+    runTasks();
 }
 
 void
-WorkerPool::drain()
+WorkerPool::submitTask(void (*fn)(void *, std::size_t), void *ctx,
+                       std::size_t arg)
 {
-    const std::uint64_t start = start_.load(std::memory_order_relaxed);
+    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push_back(Task{fn, ctx, arg});
+    }
+    wakeCv_.notify_one();
+    // A runTasks() caller sleeping through a momentarily empty queue
+    // wakes to help with the refill.
+    doneCv_.notify_all();
+}
+
+void
+WorkerPool::finishTask()
+{
+    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // The empty critical section orders this notify after the waiter
+        // either observed outstanding_ != 0 and blocked, or never blocks
+        // at all.
+        { std::lock_guard<std::mutex> lock(mutex_); }
+        doneCv_.notify_all();
+    }
+}
+
+void
+WorkerPool::runTasks()
+{
     for (;;) {
-        const std::uint64_t ticket =
-            next_.fetch_add(1, std::memory_order_relaxed);
-        const std::uint64_t end = end_.load(std::memory_order_acquire);
-        if (ticket >= end)
-            break;
-        if (ticket < start)
-            continue; // stale ticket from a previous batch's slack
-        jobFn_(jobCtx_, static_cast<std::size_t>(ticket - start));
-        if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-            // Pair with the submitter's predicate wait: the empty
-            // critical section orders this notify after the submitter
-            // either observed pending_ != 0 and blocked, or never
-            // blocks at all.
-            { std::lock_guard<std::mutex> lock(mutex_); }
-            doneCv_.notify_all();
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (tasks_.empty()) {
+                if (outstanding_.load(std::memory_order_acquire) == 0)
+                    return;
+                // Workers own everything still queued or running; wake
+                // to help if the queue refills, or to leave once the
+                // last task's countdown lands.
+                doneCv_.wait(lock, [&] {
+                    return !tasks_.empty() ||
+                           outstanding_.load(std::memory_order_acquire) ==
+                               0;
+                });
+                continue;
+            }
+            task = tasks_.front();
+            tasks_.pop_front();
         }
+        task.fn(task.ctx, task.arg);
+        finishTask();
     }
 }
 
 void
 WorkerPool::workerLoop()
 {
-    std::uint64_t seen = 0;
     for (;;) {
+        Task task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
-            wakeCv_.wait(lock, [&] {
-                return stop_ || generation_ != seen;
-            });
+            wakeCv_.wait(lock, [&] { return stop_ || !tasks_.empty(); });
             if (stop_)
                 return;
-            seen = generation_;
+            task = tasks_.front();
+            tasks_.pop_front();
         }
-        drain();
+        task.fn(task.ctx, task.arg);
+        finishTask();
     }
 }
 

@@ -1,29 +1,38 @@
 /**
  * @file
- * Persistent worker pool with a generation-counter barrier.
+ * Persistent worker pool executing queued tasks.
  *
  * The butterfly window schedule runs two parallel passes per epoch. The
  * original implementation paid a full std::thread spawn+join round-trip
  * for every pass, which dominated the measured per-epoch cost and hid
  * the paper's "no synchronization on metadata" property behind substrate
  * overhead. This pool keeps a fixed set of long-lived threads parked on
- * a condition variable; dispatching a batch is one generation bump plus
- * a notify, and items are claimed with a single atomic fetch-add each.
+ * a condition variable; all dispatch goes through one mutex-protected
+ * task queue. Per-item work in this codebase is a whole block pass
+ * (thousands of events), so a queue lock per item is noise — and one
+ * mechanism serves both callers:
  *
- * Batch protocol (see DESIGN.md "Performance substrate"):
- *  - tickets are drawn from one monotonically increasing counter that is
- *    never reset; each batch owns the half-open ticket range
- *    [start, start+count) and an item is `ticket - start`;
- *  - `start` skips one slack ticket per thread past the counter's current
- *    value, so a straggler's final (losing) fetch-add from the previous
- *    batch can never alias an item of this one;
- *  - workers park on a generation counter; the submitter bumps it under
- *    the mutex and then helps drain the batch itself;
- *  - completion is an atomic countdown; the last decrement wakes the
- *    submitter via a second condition variable.
+ *  - batch mode (`run`): enqueue fn(i) for i in [0, count), help drain,
+ *    return when all items finished — the barrier-per-pass schedule;
+ *  - task mode (`submitTask` + `runTasks`): tasks may submit further
+ *    tasks from inside their bodies; this is how the pipelined window
+ *    schedule's dependency graph releases a successor the moment its
+ *    last prerequisite completes.
  *
- * One batch may be in flight at a time (the window schedule is strictly
- * pass-by-pass); runBatch must not be called concurrently or reentrantly.
+ * Completion is an atomic count of submitted-but-unfinished tasks,
+ * incremented before a task is visible in the queue and decremented
+ * after its body returns; a graph's submissions happen inside task
+ * bodies, so the count reaching zero means the whole frontier drained.
+ * The last decrement wakes the submitter through a second condition
+ * variable. Only one run()/runTasks() may be in flight at a time (the
+ * schedules are single-driver); submitTask is safe from any thread.
+ *
+ * An earlier revision dispatched batches through a lock-free ticket
+ * counter. A worker descheduled inside that protocol could wake after
+ * the batch boundary and apply the new batch's function to the old
+ * batch's ticket base — misindexed items, silently skipped blocks.
+ * With block-sized work items the lock bought nothing; it was removed
+ * rather than patched (see DESIGN.md "Performance substrate").
  */
 
 #ifndef BUTTERFLY_COMMON_WORKER_POOL_HPP
@@ -32,27 +41,34 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
-#include <type_traits>
 #include <vector>
 
 namespace bfly {
 
-/** Fixed set of long-lived threads executing indexed batches. */
+/** Fixed set of long-lived threads executing queued tasks. */
 class WorkerPool
 {
   public:
-    /** @param workers  thread count; 0 picks hardware_concurrency. */
-    explicit WorkerPool(std::size_t workers = 0);
+    /** Sizes the pool to std::thread::hardware_concurrency() (min 1). */
+    WorkerPool();
+    /**
+     * @param workers  thread count; must be positive. A pool with zero
+     *                 threads would park every dispatch forever, so the
+     *                 mistake is rejected loudly instead.
+     */
+    explicit WorkerPool(std::size_t workers);
     ~WorkerPool();
 
     WorkerPool(const WorkerPool &) = delete;
     WorkerPool &operator=(const WorkerPool &) = delete;
 
     std::size_t workers() const { return threads_.size(); }
+    /** Thread count (alias of workers(), container-style spelling). */
+    std::size_t size() const { return threads_.size(); }
 
     /**
      * Run @p fn(i) for every i in [0, count); blocks until all items
@@ -78,27 +94,49 @@ class WorkerPool
     void runBatch(std::size_t count, void (*fn)(void *, std::size_t),
                   void *ctx);
 
+    /**
+     * Enqueue one task for the pool's threads. Safe to call from any
+     * thread, including from inside a running task (a dependency graph
+     * submits a successor the moment its last prerequisite completes).
+     * Every submitted task must be balanced by a runTasks() in flight or
+     * to come; tasks never outlive the pool.
+     */
+    void submitTask(void (*fn)(void *, std::size_t), void *ctx,
+                    std::size_t arg);
+
+    /**
+     * Help execute queued tasks and block until every task submitted so
+     * far — plus any their bodies transitively submit — has completed.
+     * Call from the thread that seeded the root tasks; must not be
+     * called concurrently with itself or with run().
+     */
+    void runTasks();
+
   private:
     void workerLoop();
-    /** Claim and execute items until the current batch is exhausted. */
-    void drain();
+    /** Run one task body and publish its completion. */
+    void finishTask();
+
+    /** One queued task. */
+    struct Task
+    {
+        void (*fn)(void *, std::size_t) = nullptr;
+        void *ctx = nullptr;
+        std::size_t arg = 0;
+    };
 
     std::vector<std::thread> threads_;
 
     std::mutex mutex_;
     std::condition_variable wakeCv_; ///< workers park here
     std::condition_variable doneCv_; ///< submitter parks here
-    std::uint64_t generation_ = 0;   ///< bumped once per batch
     bool stop_ = false;
 
-    // Current batch; published before end_ (release), read after an
-    // acquire load of end_.
-    void (*jobFn_)(void *, std::size_t) = nullptr;
-    void *jobCtx_ = nullptr;
-    std::atomic<std::uint64_t> start_{0};
-    std::atomic<std::uint64_t> end_{0};
-    std::atomic<std::uint64_t> next_{0};    ///< monotonic ticket counter
-    std::atomic<std::size_t> pending_{0};   ///< items not yet finished
+    std::deque<Task> tasks_; ///< guarded by mutex_
+    /** Submitted-but-unfinished tasks; runTasks()'s completion condition.
+     *  Incremented before the task is queued, decremented after its body
+     *  returns. */
+    std::atomic<std::size_t> outstanding_{0};
 };
 
 } // namespace bfly

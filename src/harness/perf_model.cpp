@@ -26,6 +26,9 @@ struct PerfTelemetry
     telemetry::MetricId pass1BlockCycles; ///< histogram
     telemetry::MetricId pass2BlockCycles; ///< histogram
     telemetry::MetricId sosEpochCycles;   ///< histogram
+    telemetry::MetricId butterflyPipelinedCycles;
+    telemetry::MetricId taskWaitCycles;
+    telemetry::MetricId barrierStallBlockCycles; ///< histogram
 
     static const PerfTelemetry &
     get()
@@ -49,6 +52,12 @@ struct PerfTelemetry
             s.pass2BlockCycles =
                 r.histogram("bfly.perf.pass2_block_cycles");
             s.sosEpochCycles = r.histogram("bfly.perf.sos_epoch_cycles");
+            s.butterflyPipelinedCycles =
+                r.gauge("bfly.perf.butterfly_pipelined_cycles");
+            s.taskWaitCycles =
+                r.gauge("bfly.perf.pipelined_task_wait_cycles");
+            s.barrierStallBlockCycles =
+                r.histogram("bfly.perf.barrier_stall_block_cycles");
             return s;
         }();
         return m;
@@ -449,6 +458,21 @@ computePerformance(const PerfInputs &in)
                 reg.observe(pt->sosEpochCycles, bt.sosUpdateCost[l]);
         }
         report.butterfly.timing = simulateButterfly(bt);
+        // The same costs, dependency-scheduled: one lifeguard core per
+        // application core, no barriers. Strictness follows the
+        // functional driver's declared finalize ordering.
+        report.butterflyPipelined.timing = simulateButterflyPipelined(
+            bt, T, in.butterfly->finalizeAfterPass2());
+
+        if (traced) {
+            // Per-(thread, epoch) barrier-stall breakdown of the
+            // barrier schedule: one histogram sample per block. This is
+            // exactly the time the pipelined schedule recovers.
+            for (const auto &per_thread :
+                 report.butterfly.timing.barrierStallPerBlock)
+                for (Cycles stall : per_thread)
+                    reg.observe(pt->barrierStallBlockCycles, stall);
+        }
     }
 
     const double denom = static_cast<double>(seq_total);
@@ -458,6 +482,8 @@ computePerformance(const PerfInputs &in)
         report.timesliced.timing.totalCycles / denom;
     report.butterfly.normalized =
         report.butterfly.timing.totalCycles / denom;
+    report.butterflyPipelined.normalized =
+        report.butterflyPipelined.timing.totalCycles / denom;
     report.dbiSoftware.normalized =
         report.dbiSoftware.timing.totalCycles / denom;
 
@@ -475,6 +501,10 @@ computePerformance(const PerfInputs &in)
                 report.butterfly.timing.appStallCycles);
         reg.set(pt.barrierWaitCycles,
                 report.butterfly.timing.barrierWaitCycles);
+        reg.set(pt.butterflyPipelinedCycles,
+                report.butterflyPipelined.timing.totalCycles);
+        reg.set(pt.taskWaitCycles,
+                report.butterflyPipelined.timing.taskWaitCycles);
     }
     return report;
 }

@@ -103,6 +103,13 @@ struct PerfReport
     ModeTiming parallelNoMonitor;
     ModeTiming timesliced;
     ModeTiming butterfly;
+    /** The same butterfly costs under the pipelined (dependency-graph)
+     *  schedule instead of barrier-per-pass: no barrier crossings, a
+     *  block-pass starts when its wings are ready and a lifeguard core
+     *  is free. The gap to `butterfly` is the barrier tax on this
+     *  trace; `timing.barrierStallPerBlock` of the barrier mode shows
+     *  which blocks paid it. */
+    ModeTiming butterflyPipelined;
     /** Software-only DBI monitoring (same-core, no logging hardware) —
      *  the Section 2 alternative the paper's platform improves on. Note
      *  plain DBI on a parallel program needs extra machinery for

@@ -22,6 +22,7 @@ struct SessionMetrics
     telemetry::MetricId oracleErrors;
     telemetry::MetricId falsePositives;
     telemetry::MetricId falseNegatives;
+    telemetry::MetricId peakResidentEpochs;
 
     static const SessionMetrics &
     get()
@@ -38,6 +39,8 @@ struct SessionMetrics
             s.oracleErrors = r.gauge("bfly.session.oracle_errors");
             s.falsePositives = r.gauge("bfly.session.false_positives");
             s.falseNegatives = r.gauge("bfly.session.false_negatives");
+            s.peakResidentEpochs =
+                r.gauge("bfly.session.peak_resident_epochs");
             return s;
         }();
         return m;
@@ -84,12 +87,26 @@ runSession(const SessionConfig &config)
     // One persistent pool per run: its threads service every pass of the
     // schedule instead of being spawned and joined twice per epoch.
     std::unique_ptr<WorkerPool> pool;
-    if (config.parallelPasses && trace.numThreads() > 1)
+    if ((config.parallelPasses || config.pipelineMode) &&
+        trace.numThreads() > 1)
         pool = std::make_unique<WorkerPool>(trace.numThreads());
     WindowSchedule schedule(config.parallelPasses, pool.get());
+    std::size_t peak_resident = 0;
     {
         telemetry::TraceSpan span("session.butterfly");
-        schedule.run(layout, butterfly);
+        if (config.pipelineMode) {
+            // Streaming pipelined path: same epoch boundaries as the
+            // materialized layout, but only O(window) epochs of events
+            // resident while the task graph runs.
+            EpochStream::Config scfg;
+            scfg.globalH = config.epochSize * trace.numThreads();
+            EpochStream stream(trace, scfg);
+            const PipelineStats stats =
+                schedule.runPipelined(stream, butterfly);
+            peak_resident = stats.peakResidentEpochs;
+        } else {
+            schedule.run(layout, butterfly);
+        }
     }
 
     // 4. Ground truth from the exact oracle over the true interleaving.
@@ -105,6 +122,7 @@ runSession(const SessionConfig &config)
     result.instructions = trace.instructionCount();
     result.memoryAccesses = trace.memoryAccessCount();
     result.epochs = layout.numEpochs();
+    result.peakResidentEpochs = peak_resident;
     result.butterflyErrorCount = butterfly.errors().size();
     result.oracleErrorCount = oracle.errors().size();
     result.accuracy = compareToOracle(butterfly.errors(), oracle.errors(),
@@ -137,6 +155,7 @@ runSession(const SessionConfig &config)
         reg.set(m.oracleErrors, result.oracleErrorCount);
         reg.set(m.falsePositives, result.accuracy.falsePositives);
         reg.set(m.falseNegatives, result.accuracy.falseNegatives);
+        reg.set(m.peakResidentEpochs, result.peakResidentEpochs);
     }
     return result;
 }

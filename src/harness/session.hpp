@@ -33,6 +33,15 @@ struct SessionConfig
     std::size_t logBufferBytes = 8 * 1024;
     /** Run the lifeguard passes on real threads (results must match). */
     bool parallelPasses = false;
+    /**
+     * Opt-in: drive the butterfly analysis with the pipelined
+     * dependency-graph schedule over a streaming epoch slicer instead of
+     * the barrier-per-pass loop. Default off. Analysis results are
+     * guaranteed identical to the barrier schedule (see DESIGN.md
+     * "Pipelined scheduler"); only scheduling and resident memory change,
+     * and SessionResult::peakResidentEpochs reports the high-water mark.
+     */
+    bool pipelineMode = false;
 };
 
 /** Everything measured in one run. */
@@ -43,6 +52,9 @@ struct SessionResult
     std::size_t instructions = 0;
     std::size_t memoryAccesses = 0;
     std::size_t epochs = 0;
+    /** Pipeline mode only: most epochs simultaneously resident in the
+     *  streaming slicer's ring (bounded by its window; 0 otherwise). */
+    std::size_t peakResidentEpochs = 0;
 
     std::size_t butterflyErrorCount = 0;
     std::size_t oracleErrorCount = 0;

@@ -39,10 +39,9 @@ struct AddrCheckTelemetry
 
 } // namespace
 
-ButterflyAddrCheck::ButterflyAddrCheck(const EpochLayout &layout,
+ButterflyAddrCheck::ButterflyAddrCheck(std::size_t num_threads,
                                        const AddrCheckConfig &config)
-    : layout_(layout), config_(config),
-      summaries_(layout.numThreads())
+    : config_(config), summaries_(num_threads)
 {
     ensure(config_.granularity > 0, "granularity must be positive");
 }
@@ -155,7 +154,7 @@ ButterflyAddrCheck::pass1(const BlockView &block)
     std::vector<Addr> keys;
     for (InstrOffset i = 0; i < block.size(); ++i) {
         const Event &e = block.events[i];
-        const std::uint64_t index = layout_.globalIndex(l, t, i);
+        const std::uint64_t index = block.first + i;
 
         auto check_access = [&](Addr base, std::uint16_t size) {
             keysOf(base, size, keys);
@@ -261,7 +260,7 @@ ButterflyAddrCheck::pass2(const BlockView &block)
     std::vector<Addr> keys;
     for (InstrOffset i = 0; i < block.size(); ++i) {
         const Event &e = block.events[i];
-        const std::uint64_t index = layout_.globalIndex(l, t, i);
+        const std::uint64_t index = block.first + i;
 
         auto check_state_change = [&](Addr base, std::uint16_t size) {
             keysOf(base, size, keys);

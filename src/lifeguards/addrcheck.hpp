@@ -63,13 +63,28 @@ struct AddrCheckConfig
 class ButterflyAddrCheck : public AnalysisDriver
 {
   public:
-    ButterflyAddrCheck(const EpochLayout &layout,
+    /** Streaming-friendly: the driver only needs the thread count (block
+     *  identities come from BlockView::first), so it can run over an
+     *  EpochStream without ever materializing a layout. */
+    ButterflyAddrCheck(std::size_t num_threads,
                        const AddrCheckConfig &config);
+    ButterflyAddrCheck(const EpochLayout &layout,
+                       const AddrCheckConfig &config)
+        : ButterflyAddrCheck(layout.numThreads(), config)
+    {}
 
     // AnalysisDriver hooks.
     void pass1(const BlockView &block) override;
     void pass2(const BlockView &block) override;
     void finalizeEpoch(EpochId l) override;
+
+    /**
+     * ADDRCHECK's pass 2 and finalize consume only pass-1 summaries —
+     * never the SOS that finalize advances, nor pass-2 results — so the
+     * pipelined schedule may run them relaxed: finalizeEpoch(l) does not
+     * gate pass 2 of epoch l, and no global synchronization remains.
+     */
+    bool finalizeAfterPass2() const override { return false; }
 
     /** All flagged events (one record per event). */
     const ErrorLog &errors() const { return errors_; }
@@ -126,7 +141,6 @@ class ButterflyAddrCheck : public AnalysisDriver
                      const std::vector<ErrorRecord> &local_errors,
                      std::uint64_t checks, std::uint64_t isolation);
 
-    const EpochLayout &layout_;
     AddrCheckConfig config_;
 
     /** Ring of per-epoch, per-thread summaries. */

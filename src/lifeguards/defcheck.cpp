@@ -51,7 +51,7 @@ definedness(const DefCheckConfig &cfg)
 
 ButterflyDefCheck::ButterflyDefCheck(const EpochLayout &layout,
                                      const DefCheckConfig &config)
-    : layout_(layout), config_(config),
+    : config_(config),
       exprs_(layout.numThreads(), definedness(config))
 {}
 
@@ -105,7 +105,7 @@ ButterflyDefCheck::pass2(const BlockView &block)
             for (Addr k : keys) {
                 if (!in.contains(k)) {
                     block_errors.push_back(ErrorRecord{
-                        t, layout_.globalIndex(l, t, i), base,
+                        t, block.first + i, base,
                         ErrorKind::UninitializedRead, size});
                     break;
                 }

@@ -38,7 +38,7 @@ struct TaintCheckTelemetry
 ButterflyTaintCheck::ButterflyTaintCheck(const EpochLayout &layout,
                                          const TaintCheckConfig &config,
                                          TaintTermination termination)
-    : layout_(layout), config_(config), termination_(termination),
+    : config_(config), termination_(termination),
       blocks_(layout.numThreads())
 {}
 
@@ -408,7 +408,7 @@ ButterflyTaintCheck::pass2(const BlockView &block)
 
         for (InstrOffset i = 0; i < block.size(); ++i) {
             const Event &e = block.events[i];
-            const std::uint64_t index = layout_.globalIndex(l, t, i);
+            const std::uint64_t index = block.first + i;
             ctx.checkOffset = i;
             switch (e.kind) {
               case EventKind::TaintSrc:

@@ -170,7 +170,6 @@ class ButterflyTaintCheck : public AnalysisDriver
                      const std::unordered_map<Addr, InstrOffset>
                          &local_taint_offset) const;
 
-    const EpochLayout &layout_;
     TaintCheckConfig config_;
     TaintTermination termination_;
 

@@ -1,6 +1,10 @@
 #include "sim/lba.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
 
 #include "common/logging.hpp"
 #include "telemetry/metrics.hpp"
@@ -114,6 +118,13 @@ simulateButterfly(const ButterflyTimingInput &input)
     ensure(input.bufferCapacity > 0, "buffer capacity must be positive");
 
     TimingResult result;
+    result.barrierStallPerBlock.assign(
+        nthreads, std::vector<Cycles>(nepochs, 0));
+    // Step-l barrier stalls land on epoch l; the trailing step (l ==
+    // nepochs) has no epoch of its own and charges the final one.
+    auto stall_epoch = [&](std::size_t l) {
+        return std::min(l, nepochs - 1);
+    };
 
     // Simulated-cycle timeline export (pid 1). Guarded per epoch, not
     // per record, so the disabled cost is one branch per epoch.
@@ -171,8 +182,12 @@ simulateButterfly(const ButterflyTimingInput &input)
         const Cycles slowest =
             *std::max_element(pass1_done.begin(), pass1_done.end());
         const Cycles barrier1 = slowest + input.barrierCost;
-        for (std::size_t t = 0; t < nthreads; ++t)
-            result.barrierWaitCycles += barrier1 - pass1_done[t];
+        for (std::size_t t = 0; t < nthreads; ++t) {
+            const Cycles wait = barrier1 - pass1_done[t];
+            result.barrierWaitCycles += wait;
+            if (nepochs > 0)
+                result.barrierStallPerBlock[t][stall_epoch(l)] += wait;
+        }
         if (traced)
             ttr.complete(tl->barrier, slowest, input.barrierCost,
                          telemetry::SpanTracer::kSimPid, mastertid,
@@ -200,8 +215,11 @@ simulateButterfly(const ButterflyTimingInput &input)
         const Cycles slowest2 =
             *std::max_element(pass2_done.begin(), pass2_done.end());
         Cycles barrier2 = slowest2 + input.barrierCost;
-        for (std::size_t t = 0; t < nthreads; ++t)
-            result.barrierWaitCycles += barrier2 - pass2_done[t];
+        for (std::size_t t = 0; t < nthreads; ++t) {
+            const Cycles wait = barrier2 - pass2_done[t];
+            result.barrierWaitCycles += wait;
+            result.barrierStallPerBlock[t][l - 1] += wait;
+        }
         if (traced)
             ttr.complete(tl->barrier, slowest2, input.barrierCost,
                          telemetry::SpanTracer::kSimPid, mastertid,
@@ -224,6 +242,180 @@ simulateButterfly(const ButterflyTimingInput &input)
 
     result.totalCycles = final_time;
     result.appCycles = *std::max_element(produce.begin(), produce.end());
+    return result;
+}
+
+TimingResult
+simulateButterflyPipelined(const ButterflyTimingInput &input,
+                           std::size_t workers, bool strict_finalize)
+{
+    const std::size_t T = input.costs.size();
+    ensure(T > 0, "butterfly timing needs at least one thread");
+    ensure(workers > 0, "pipelined timing needs at least one worker");
+    const std::size_t L = input.costs[0].size();
+    for (const auto &per_thread : input.costs) {
+        ensure(per_thread.size() == L,
+               "all threads must have the same epoch count");
+    }
+
+    TimingResult result;
+    for (std::size_t t = 0; t < T; ++t) {
+        Cycles app = 0;
+        for (const EpochCosts &block : input.costs[t])
+            for (Cycles c : block.appCost)
+                app += c;
+        result.appCycles = std::max(result.appCycles, app);
+    }
+    if (L == 0)
+        return result;
+
+    // Task table mirroring WindowSchedule's graph: A(0..L), P1, P2,
+    // F, R. Admission and retirement cost nothing but still order the
+    // graph.
+    const std::size_t p1_base = L + 1;
+    const std::size_t p2_base = p1_base + L * T;
+    const std::size_t f_base = p2_base + L * T;
+    const std::size_t r_base = f_base + L;
+    const std::size_t total = r_base + L;
+    const auto p1_id = [&](std::size_t l, std::size_t t) {
+        return p1_base + l * T + t;
+    };
+    const auto p2_id = [&](std::size_t l, std::size_t t) {
+        return p2_base + l * T + t;
+    };
+
+    std::vector<Cycles> duration(total, 0);
+    for (std::size_t l = 0; l < L; ++l) {
+        for (std::size_t t = 0; t < T; ++t) {
+            Cycles p1 = 0;
+            for (Cycles c : input.costs[t][l].pass1Cost)
+                p1 += c;
+            duration[p1_id(l, t)] = p1;
+            duration[p2_id(l, t)] = input.costs[t][l].pass2Cost;
+        }
+        if (l < input.sosUpdateCost.size())
+            duration[f_base + l] = input.sosUpdateCost[l];
+    }
+
+    std::vector<std::vector<std::uint32_t>> succ(total);
+    std::vector<std::uint32_t> pending(total, 0);
+    const auto add_edge = [&](std::size_t task, std::size_t prereq) {
+        ++pending[task];
+        succ[prereq].push_back(static_cast<std::uint32_t>(task));
+    };
+    for (std::size_t l = 0; l <= L; ++l) {
+        if (l == 1)
+            for (std::size_t u = 0; u < T; ++u)
+                add_edge(1, p1_id(0, u));
+        if (l >= 2)
+            add_edge(l, f_base + (l - 2));
+        if (l >= 3)
+            add_edge(l, r_base + (l - 3));
+    }
+    for (std::size_t l = 0; l < L; ++l) {
+        for (std::size_t t = 0; t < T; ++t) {
+            add_edge(p1_id(l, t), l);
+            add_edge(p2_id(l, t), l + 1);
+            if (l + 1 < L)
+                for (std::size_t u = 0; u < T; ++u)
+                    if (u != t)
+                        add_edge(p2_id(l, t), p1_id(l + 1, u));
+        }
+        if (l >= 1)
+            add_edge(f_base + l, f_base + (l - 1));
+        if (strict_finalize)
+            for (std::size_t t = 0; t < T; ++t)
+                add_edge(f_base + l, p2_id(l, t));
+        if (l + 1 < L)
+            for (std::size_t t = 0; t < T; ++t)
+                add_edge(f_base + l, p1_id(l + 1, t));
+        if (!strict_finalize && L == 1)
+            for (std::size_t t = 0; t < T; ++t)
+                add_edge(f_base, p1_id(0, t));
+        for (std::size_t t = 0; t < T; ++t)
+            add_edge(r_base + l, p2_id(l, t));
+        if (l >= 1)
+            add_edge(r_base + l, r_base + (l - 1));
+    }
+
+    // Greedy work-conserving list scheduling on `workers` identical
+    // cores: a task starts on the earliest-free core once every
+    // prerequisite has finished; ties break by task id (graph order).
+    // Min-heaps via sort-free priority queues.
+    using ReadyEntry = std::pair<Cycles, std::size_t>; // (ready, id)
+    std::priority_queue<ReadyEntry, std::vector<ReadyEntry>,
+                        std::greater<ReadyEntry>>
+        ready;
+    std::priority_queue<Cycles, std::vector<Cycles>, std::greater<Cycles>>
+        core_free;
+    for (std::size_t w = 0; w < workers; ++w)
+        core_free.push(0);
+    std::priority_queue<ReadyEntry, std::vector<ReadyEntry>,
+                        std::greater<ReadyEntry>>
+        running; // (finish, id)
+
+    for (std::size_t id = 0; id < total; ++id)
+        if (pending[id] == 0)
+            ready.push({0, id});
+
+    // Completions may be processed out of chronological order (instant
+    // zero-duration tasks vs. running ones), so a successor's ready time
+    // is the max prerequisite finish, tracked explicitly.
+    std::vector<Cycles> ready_time(total, 0);
+    const auto complete = [&](std::size_t id, Cycles finish) {
+        for (std::uint32_t s : succ[id]) {
+            ready_time[s] = std::max(ready_time[s], finish);
+            if (--pending[s] == 0)
+                ready.push({ready_time[s], s});
+        }
+    };
+
+    std::size_t done = 0;
+    while (done < total) {
+        // Start every ready task whose prerequisites allow it, earliest
+        // first; when nothing can start, retire the next completion.
+        if (!ready.empty()) {
+            const auto [ready_at, id] = ready.top();
+            // A zero-duration task (admission, retirement, or an empty
+            // block) completes instantly without occupying a core.
+            if (duration[id] == 0) {
+                ready.pop();
+                ++done;
+                complete(id, ready_at);
+                continue;
+            }
+            // Needs a core; with every core busy, fall through to the
+            // next completion, which frees one.
+            if (!core_free.empty()) {
+                const Cycles core_at = core_free.top();
+                const Cycles start = std::max(ready_at, core_at);
+                // If a running task finishes before this one could
+                // start, process that completion first: it may ready an
+                // earlier-runnable task.
+                if (running.empty() || running.top().first >= start) {
+                    ready.pop();
+                    core_free.pop();
+                    result.taskWaitCycles += start - ready_at;
+                    running.push({start + duration[id], id});
+                    continue;
+                }
+            }
+        }
+        ensure(!running.empty(),
+               "pipelined timing graph stalled with tasks unfinished");
+        const auto [finish, id] = running.top();
+        running.pop();
+        core_free.push(finish);
+        ++done;
+        complete(id, finish);
+    }
+
+    Cycles makespan = 0;
+    while (!core_free.empty()) {
+        makespan = std::max(makespan, core_free.top());
+        core_free.pop();
+    }
+    result.totalCycles = makespan;
     return result;
 }
 

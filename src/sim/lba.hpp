@@ -44,6 +44,22 @@ struct TimingResult
     Cycles appStallCycles = 0;
     /** Cycles lifeguard threads spent waiting at epoch barriers. */
     Cycles barrierWaitCycles = 0;
+    /**
+     * barrierStallPerBlock[t][l]: barrier-wait cycles attributed to
+     * thread t around epoch l (populated by simulateButterfly only).
+     * The pass-1 barrier of window step l charges epoch l; the pass-2
+     * barrier charges epoch l-1; the trailing step charges the final
+     * epoch. Summing every cell reproduces barrierWaitCycles exactly —
+     * this is the per-block breakdown the pipelined scheduler eliminates,
+     * so it shows *where* a skewed trace loses time to barriers.
+     */
+    std::vector<std::vector<Cycles>> barrierStallPerBlock;
+    /**
+     * Pipelined model only: total cycles tasks spent between becoming
+     * runnable (all dependencies satisfied) and starting on a worker —
+     * the scheduling analogue of barrierWaitCycles.
+     */
+    Cycles taskWaitCycles = 0;
 };
 
 /**
@@ -93,6 +109,28 @@ struct ButterflyTimingInput
  * summary into the SOS.
  */
 TimingResult simulateButterfly(const ButterflyTimingInput &input);
+
+/**
+ * Timing of the *pipelined* butterfly schedule: the same per-block costs
+ * executed as a dependency task graph (the one WindowSchedule::
+ * runPipelined builds) by @p workers work-conserving lifeguard cores —
+ * no barriers, a block-pass starts the moment its prerequisites finish
+ * and a core is free. Greedy list scheduling in task order; admission
+ * and retirement are free; finalizeEpoch costs sosUpdateCost[l].
+ *
+ * The model is lifeguard-bound (production coupling and barrierCost do
+ * not apply — there are no barriers to cross), matching the paper's
+ * observation that monitoring is the bottleneck. Comparing its
+ * totalCycles against simulateButterfly's on the same input isolates
+ * what dependency-driven scheduling buys over barrier-per-pass.
+ *
+ * @param strict_finalize  keep finalize(l) behind pass 2 of epoch l
+ *                         (AnalysisDriver::finalizeAfterPass2); relaxed
+ *                         drivers (ADDRCHECK) pass false
+ */
+TimingResult simulateButterflyPipelined(const ButterflyTimingInput &input,
+                                        std::size_t workers,
+                                        bool strict_finalize);
 
 /**
  * Timing of the unmonitored parallel run: per-thread production costs only,

@@ -7,6 +7,49 @@
 
 namespace bfly {
 
+namespace {
+
+/**
+ * The byGlobalSeq boundary table, computed without materializing the
+ * filtered event streams: starts[t][l] is the index (heartbeats
+ * excluded) of block (l,t)'s first event. Shared by
+ * EpochLayout::byGlobalSeq and EpochStream so the streamed epoch
+ * structure is identical to the materialized one by construction.
+ */
+std::size_t
+globalSeqStarts(const Trace &trace, std::size_t global_h,
+                std::vector<std::vector<std::size_t>> &starts)
+{
+    ensure(global_h > 0, "global epoch size must be positive");
+    starts.assign(trace.threads.size(), {});
+    std::size_t max_epochs = 0;
+
+    for (std::size_t t = 0; t < trace.threads.size(); ++t) {
+        // Epoch of event i = its gseq bucket, clamped non-decreasing so
+        // the block stays contiguous when relaxed visibility reordered
+        // gseq slightly out of program order.
+        starts[t].push_back(0);
+        EpochId current = 0;
+        std::size_t i = 0;
+        for (const Event &e : trace.threads[t].events) {
+            if (e.kind == EventKind::Heartbeat)
+                continue;
+            const std::uint64_t g = e.gseq > 0 ? e.gseq - 1 : 0;
+            const EpochId epoch = std::max<EpochId>(current, g / global_h);
+            while (current < epoch) {
+                starts[t].push_back(i);
+                ++current;
+            }
+            ++i;
+        }
+        starts[t].push_back(i);
+        max_epochs = std::max(max_epochs, starts[t].size() - 1);
+    }
+    return max_epochs;
+}
+
+} // namespace
+
 EpochLayout::EpochLayout(const Trace &trace, std::size_t num_epochs,
                          std::vector<std::vector<std::size_t>> starts,
                          std::vector<std::vector<Event>> filtered)
@@ -75,33 +118,15 @@ EpochLayout::uniform(const Trace &trace, std::size_t h)
 EpochLayout
 EpochLayout::byGlobalSeq(const Trace &trace, std::size_t global_h)
 {
-    ensure(global_h > 0, "global epoch size must be positive");
-    std::vector<std::vector<std::size_t>> starts(trace.threads.size());
-    std::vector<std::vector<Event>> filtered(trace.threads.size());
-    std::size_t max_epochs = 0;
+    std::vector<std::vector<std::size_t>> starts;
+    const std::size_t max_epochs = globalSeqStarts(trace, global_h, starts);
 
+    std::vector<std::vector<Event>> filtered(trace.threads.size());
     for (std::size_t t = 0; t < trace.threads.size(); ++t) {
         for (const Event &e : trace.threads[t].events) {
             if (e.kind != EventKind::Heartbeat)
                 filtered[t].push_back(e);
         }
-        // Epoch of event i = its gseq bucket, clamped non-decreasing so
-        // the block stays contiguous when relaxed visibility reordered
-        // gseq slightly out of program order.
-        starts[t].push_back(0);
-        EpochId current = 0;
-        for (std::size_t i = 0; i < filtered[t].size(); ++i) {
-            const std::uint64_t g =
-                filtered[t][i].gseq > 0 ? filtered[t][i].gseq - 1 : 0;
-            const EpochId epoch =
-                std::max<EpochId>(current, g / global_h);
-            while (current < epoch) {
-                starts[t].push_back(i);
-                ++current;
-            }
-        }
-        starts[t].push_back(filtered[t].size());
-        max_epochs = std::max(max_epochs, starts[t].size() - 1);
     }
     return EpochLayout(trace, max_epochs, std::move(starts),
                        std::move(filtered));
@@ -167,7 +192,8 @@ EpochLayout::block(EpochId l, ThreadId t) const
     const std::size_t end = s[l + 1];
     return BlockView{
         l, tids_[t],
-        std::span<const Event>(filtered_[t].data() + begin, end - begin)};
+        std::span<const Event>(filtered_[t].data() + begin, end - begin),
+        begin};
 }
 
 std::vector<BlockView>
@@ -178,6 +204,120 @@ EpochLayout::epoch(EpochId l) const
     for (ThreadId t = 0; t < starts_.size(); ++t)
         blocks.push_back(block(l, t));
     return blocks;
+}
+
+EpochStream::EpochStream(const Trace &trace, Config config)
+    : trace_(trace), backPressure_(config.backPressure)
+{
+    ensure(config.windowEpochs >= 4,
+           "EpochStream window must hold at least 4 epochs (body, both "
+           "wings, and the epoch being admitted)");
+    numEpochs_ = globalSeqStarts(trace, config.globalH, starts_);
+
+    // Pad every thread's boundary table to the same epoch count, exactly
+    // as the EpochLayout constructor does.
+    for (auto &s : starts_) {
+        while (s.size() < numEpochs_ + 1)
+            s.push_back(s.back());
+    }
+
+    tids_.reserve(trace.threads.size());
+    for (const ThreadTrace &t : trace.threads)
+        tids_.push_back(t.tid);
+
+    const std::size_t T = trace.threads.size();
+    cells_.resize(config.windowEpochs);
+    for (Cell &c : cells_) {
+        c.events.resize(T);
+        c.first.resize(T, 0);
+    }
+    rawPos_.assign(T, 0);
+    filteredPos_.assign(T, 0);
+}
+
+void
+EpochStream::acquire(EpochId l)
+{
+    ensure(l == nextAcquire_, "epochs must be acquired in order");
+    ensure(l < numEpochs_, "epoch id out of range");
+    Cell &cell = cellOf(l);
+    ensure(cell.epoch == kNoEpoch,
+           "EpochStream ring cell still resident (retire the oldest "
+           "epoch before admitting a new one)");
+
+    // Model the log-buffer occupancy at admission: the platform has
+    // produced this epoch's events while the window was busy; admission
+    // drains them. An epoch that exceeds the buffer records the stalls
+    // the application core would have taken.
+    const std::size_t T = starts_.size();
+    if (backPressure_) {
+        for (std::size_t t = 0; t < T; ++t) {
+            const std::size_t n = starts_[t][l + 1] - starts_[t][l];
+            for (std::size_t k = 0; k < n; ++k)
+                backPressure_->produce();
+        }
+        backPressure_->heartbeat();
+    }
+
+    for (std::size_t t = 0; t < T; ++t) {
+        std::vector<Event> &out = cell.events[t];
+        out.clear();
+        cell.first[t] = starts_[t][l];
+        const std::size_t end = starts_[t][l + 1];
+        const auto &raw = trace_.threads[t].events;
+        while (filteredPos_[t] < end) {
+            const Event &e = raw[rawPos_[t]++];
+            if (e.kind == EventKind::Heartbeat)
+                continue;
+            out.push_back(e);
+            ++filteredPos_[t];
+            if (backPressure_)
+                backPressure_->consume();
+        }
+    }
+    cell.epoch = l;
+    ++nextAcquire_;
+
+    const std::size_t now =
+        resident_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    std::size_t peak = peakResident_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peakResident_.compare_exchange_weak(peak, now,
+                                                std::memory_order_acq_rel))
+        ;
+}
+
+BlockView
+EpochStream::block(EpochId l, ThreadId t) const
+{
+    ensure(t < starts_.size(), "thread id out of range");
+    const Cell &cell = cellOf(l);
+    ensure(cell.epoch == l, "block() requires a resident epoch");
+    return BlockView{l, tids_[t],
+                     std::span<const Event>(cell.events[t].data(),
+                                            cell.events[t].size()),
+                     cell.first[t]};
+}
+
+void
+EpochStream::retire(EpochId l)
+{
+    ensure(l == nextRetire_, "epochs must be retired in order");
+    Cell &cell = cellOf(l);
+    ensure(cell.epoch == l, "retire() of a non-resident epoch");
+    cell.epoch = kNoEpoch;
+    // Keep the vectors' capacity: the ring reuses their storage for the
+    // epoch that lands in this cell windowEpochs later.
+    for (auto &v : cell.events)
+        v.clear();
+    ++nextRetire_;
+    resident_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+std::uint64_t
+EpochStream::producerStalls() const
+{
+    return backPressure_ ? backPressure_->producerStalls() : 0;
 }
 
 } // namespace bfly

@@ -11,15 +11,23 @@
  *    markers (the LBA prototype's mechanism), and
  *  - uniform mode: cut every h instructions, used when a trace was produced
  *    without embedded markers.
+ *
+ * Two consumers exist for the epoch structure: EpochLayout materializes
+ * the whole trace up front (oracles, the perf model, the barrier
+ * schedule), while EpochStream slices the same boundaries incrementally
+ * into a bounded ring so the pipelined schedule keeps only O(window)
+ * epochs of events resident no matter how long the trace is.
  */
 
 #ifndef BUTTERFLY_TRACE_EPOCH_SLICER_HPP
 #define BUTTERFLY_TRACE_EPOCH_SLICER_HPP
 
+#include <atomic>
 #include <cstddef>
 #include <span>
 #include <vector>
 
+#include "trace/log_buffer.hpp"
 #include "trace/trace.hpp"
 
 namespace bfly {
@@ -30,6 +38,14 @@ struct BlockView
     EpochId epoch = 0;
     ThreadId thread = 0;
     std::span<const Event> events;
+    /**
+     * Per-thread index (heartbeats excluded) of events[0] in the
+     * thread's full filtered stream: instruction i of this block has the
+     * stable identity first + i, matching EpochLayout::globalIndex.
+     * Carried in the view so lifeguards work identically over
+     * materialized layouts and streamed (ring-resident) blocks.
+     */
+    std::size_t first = 0;
 
     std::size_t size() const { return events.size(); }
     bool empty() const { return events.empty(); }
@@ -114,6 +130,101 @@ class EpochLayout
     /** Per-thread events with heartbeats stripped. */
     std::vector<std::vector<Event>> filtered_;
     std::vector<ThreadId> tids_;
+};
+
+/**
+ * Streaming counterpart of EpochLayout::byGlobalSeq: identical epoch
+ * boundaries (one cheap boundary pre-pass over the trace, O(epochs)
+ * index memory), but event payloads are copied into a bounded ring only
+ * when an epoch is acquired and freed when it is retired — resident
+ * event memory is O(windowEpochs), independent of trace length.
+ *
+ * The pipelined window schedule acquires epochs in order as its task
+ * graph admits them and retires each epoch once every task reading its
+ * events has completed. An optional LogBuffer models the back-pressure
+ * the bounded window exerts on the logging platform: each event of an
+ * epoch is produced into the buffer before admission and consumed at
+ * admission, so epochs larger than the buffer surface producer stalls
+ * exactly where the LBA hardware would stall the application core.
+ *
+ * acquire() calls must be in epoch order (the task graph's admission
+ * chain is totally ordered); retire() calls must also be in order.
+ * block() is safe to call concurrently with acquire()/retire() of
+ * *other* epochs — the ring cells are disjoint and the schedule orders
+ * cell reuse behind retirement.
+ */
+class EpochStream
+{
+  public:
+    struct Config
+    {
+        /** Events per epoch across all threads (byGlobalSeq's H). */
+        std::size_t globalH = 0;
+        /** Ring capacity in epochs; >= 4 (the butterfly needs the body
+         *  epoch, both wings, and the epoch being admitted). */
+        std::size_t windowEpochs = 4;
+        /** Optional occupancy model for admission back-pressure. */
+        LogBuffer *backPressure = nullptr;
+    };
+
+    EpochStream(const Trace &trace, Config config);
+
+    std::size_t numEpochs() const { return numEpochs_; }
+    std::size_t numThreads() const { return starts_.size(); }
+    std::size_t windowEpochs() const { return cells_.size(); }
+
+    /** Slice epoch l's events into the ring. @pre l is the next
+     *  unacquired epoch and fewer than windowEpochs epochs are resident. */
+    void acquire(EpochId l);
+
+    /** The block (l, t) of a currently resident epoch. */
+    BlockView block(EpochId l, ThreadId t) const;
+
+    /** Release epoch l's ring cell. @pre l is the oldest resident epoch. */
+    void retire(EpochId l);
+
+    std::size_t residentEpochs() const
+    {
+        return resident_.load(std::memory_order_acquire);
+    }
+
+    /** High-water mark of simultaneously resident epochs. */
+    std::size_t peakResidentEpochs() const
+    {
+        return peakResident_.load(std::memory_order_acquire);
+    }
+
+    /** Producer stalls recorded in the back-pressure buffer (0 if none). */
+    std::uint64_t producerStalls() const;
+
+  private:
+    /** Ring cell holding one resident epoch's per-thread events. */
+    struct Cell
+    {
+        EpochId epoch = kNoEpoch;
+        std::vector<std::vector<Event>> events; ///< [t]
+        std::vector<std::size_t> first;         ///< [t] filtered offset
+    };
+
+    Cell &cellOf(EpochId l) { return cells_[l % cells_.size()]; }
+    const Cell &cellOf(EpochId l) const { return cells_[l % cells_.size()]; }
+
+    const Trace &trace_;
+    std::size_t numEpochs_ = 0;
+    /** Same boundary table as EpochLayout::byGlobalSeq. */
+    std::vector<std::vector<std::size_t>> starts_;
+    std::vector<ThreadId> tids_;
+    std::vector<Cell> cells_;
+
+    // Per-thread streaming cursors (advanced only by in-order acquire).
+    std::vector<std::size_t> rawPos_;     ///< index into raw events
+    std::vector<std::size_t> filteredPos_; ///< non-heartbeat events passed
+    EpochId nextAcquire_ = 0;
+    EpochId nextRetire_ = 0;
+
+    std::atomic<std::size_t> resident_{0};
+    std::atomic<std::size_t> peakResident_{0};
+    LogBuffer *backPressure_ = nullptr;
 };
 
 } // namespace bfly

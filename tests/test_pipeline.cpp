@@ -1,0 +1,554 @@
+/**
+ * @file
+ * The pipelined (dependency-task-graph) window schedule: determinism
+ * against the sequential schedule for every lifeguard, the streaming
+ * epoch source's equivalence with the materialized layout, the bounded
+ * residency guarantee, and the worker pool's task protocol that carries
+ * it all.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "butterfly/reaching_defs.hpp"
+#include "butterfly/window.hpp"
+#include "common/rng.hpp"
+#include "common/worker_pool.hpp"
+#include "harness/session.hpp"
+#include "lifeguards/addrcheck.hpp"
+#include "lifeguards/defcheck.hpp"
+#include "lifeguards/taintcheck.hpp"
+#include "memmodel/interleaver.hpp"
+#include "sim/lba.hpp"
+#include "trace/log_buffer.hpp"
+#include "workloads/bugs.hpp"
+#include "workloads/workload.hpp"
+
+namespace bfly {
+namespace {
+
+// --------------------------------------------------------------------
+// WorkerPool task protocol (what the graph scheduler runs on).
+// --------------------------------------------------------------------
+
+TEST(WorkerPoolTasks, RunsEverySubmittedTask)
+{
+    WorkerPool pool(3);
+    const std::size_t n = 128;
+    std::vector<std::atomic<int>> counts(n);
+    struct Ctx
+    {
+        std::vector<std::atomic<int>> *counts;
+    } ctx{&counts};
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submitTask(
+            [](void *c, std::size_t i) {
+                (*static_cast<Ctx *>(c)->counts)[i].fetch_add(
+                    1, std::memory_order_relaxed);
+            },
+            &ctx, i);
+    pool.runTasks();
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(counts[i].load(), 1) << "task " << i;
+}
+
+TEST(WorkerPoolTasks, TasksMaySubmitTasks)
+{
+    // A binary fan-out submitted from inside task bodies: runTasks must
+    // not return until the transitively spawned frontier drains.
+    WorkerPool pool(2);
+    struct Ctx
+    {
+        WorkerPool *pool;
+        std::atomic<std::size_t> ran{0};
+        static void
+        step(void *c, std::size_t depth)
+        {
+            auto *ctx = static_cast<Ctx *>(c);
+            ctx->ran.fetch_add(1, std::memory_order_relaxed);
+            if (depth == 0)
+                return;
+            ctx->pool->submitTask(&Ctx::step, ctx, depth - 1);
+            ctx->pool->submitTask(&Ctx::step, ctx, depth - 1);
+        }
+    } ctx{&pool};
+    pool.submitTask(&Ctx::step, &ctx, 7);
+    pool.runTasks();
+    // A full binary tree of depth 7: 2^8 - 1 nodes.
+    EXPECT_EQ(ctx.ran.load(), 255u);
+}
+
+TEST(WorkerPoolTasks, RunTasksWithEmptyQueueReturns)
+{
+    WorkerPool pool(2);
+    pool.runTasks(); // must not hang
+    SUCCEED();
+}
+
+TEST(WorkerPoolTasks, PoolReusableAcrossTaskRounds)
+{
+    WorkerPool pool(2);
+    std::atomic<int> count{0};
+    for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 5; ++i)
+            pool.submitTask(
+                [](void *c, std::size_t) {
+                    static_cast<std::atomic<int> *>(c)->fetch_add(
+                        1, std::memory_order_relaxed);
+                },
+                &count, 0);
+        pool.runTasks();
+    }
+    EXPECT_EQ(count.load(), 250);
+}
+
+TEST(WorkerPool, SizeReportsThreadCount)
+{
+    WorkerPool pool(3);
+    EXPECT_EQ(pool.size(), 3u);
+    EXPECT_EQ(pool.size(), pool.workers());
+}
+
+TEST(WorkerPoolDeath, ZeroThreadConstructionIsRejected)
+{
+    EXPECT_DEATH(WorkerPool pool(0), "at least one thread");
+}
+
+// --------------------------------------------------------------------
+// Helpers shared with the pool-determinism suite.
+// --------------------------------------------------------------------
+
+std::vector<std::tuple<ThreadId, std::uint64_t, Addr, int, std::uint16_t>>
+sortedRecords(const ErrorLog &log)
+{
+    std::vector<std::tuple<ThreadId, std::uint64_t, Addr, int,
+                           std::uint16_t>>
+        out;
+    out.reserve(log.size());
+    for (const ErrorRecord &r : log.records())
+        out.emplace_back(r.tid, r.index, r.addr, static_cast<int>(r.kind),
+                         r.size);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+Trace
+mixTrace(std::uint64_t seed, Workload &w_out)
+{
+    WorkloadConfig wcfg;
+    wcfg.numThreads = 4;
+    wcfg.instrPerThread = 2000;
+    wcfg.seed = seed;
+    w_out = makeRandomMix(wcfg);
+    Rng rng(seed * 977 + 5);
+    return interleave(w_out.programs, InterleaveConfig{}, rng);
+}
+
+// --------------------------------------------------------------------
+// Pipelined == sequential, per lifeguard. The task graph may reorder
+// anything the dependency edges allow; the analysis results may not
+// change at all.
+// --------------------------------------------------------------------
+
+TEST(PipelineDeterminism, AddrCheckMatchesSequentialAcrossSeeds)
+{
+    for (std::uint64_t seed : {11u, 22u, 33u}) {
+        Workload w;
+        const Trace trace = mixTrace(seed, w);
+        const EpochLayout layout = EpochLayout::byGlobalSeq(trace, 512);
+
+        AddrCheckConfig cfg;
+        cfg.heapBase = w.heapBase;
+        cfg.heapLimit = w.heapLimit;
+
+        ButterflyAddrCheck seq(layout, cfg);
+        WindowSchedule(false).run(layout, seq);
+
+        WorkerPool pool(layout.numThreads());
+        ButterflyAddrCheck pipe(layout, cfg);
+        const PipelineStats stats =
+            WindowSchedule(true, &pool).runPipelined(layout, pipe);
+
+        EXPECT_EQ(sortedRecords(seq.errors()),
+                  sortedRecords(pipe.errors()))
+            << "seed " << seed;
+        EXPECT_EQ(seq.eventsChecked(), pipe.eventsChecked());
+        EXPECT_EQ(seq.sosNow().sorted(), pipe.sosNow().sorted());
+        EXPECT_EQ(stats.epochsFinalized, layout.numEpochs());
+    }
+}
+
+TEST(PipelineDeterminism, TaintCheckMatchesSequentialAcrossSeeds)
+{
+    for (std::uint64_t seed : {5u, 6u, 7u}) {
+        WorkloadConfig wcfg;
+        wcfg.numThreads = 3;
+        wcfg.instrPerThread = 600;
+        wcfg.seed = seed;
+        Workload w = makeTaintMix(wcfg);
+        Rng bug_rng(seed ^ 0xf00d);
+        injectBugs(w, BugKind::TaintedJump, 3, bug_rng);
+
+        Rng rng(seed * 131 + 17);
+        const Trace trace =
+            interleave(w.programs, InterleaveConfig{}, rng);
+        const EpochLayout layout = EpochLayout::byGlobalSeq(trace, 240);
+
+        TaintCheckConfig cfg;
+        ButterflyTaintCheck seq(layout, cfg);
+        WindowSchedule(false).run(layout, seq);
+
+        WorkerPool pool(layout.numThreads());
+        ButterflyTaintCheck pipe(layout, cfg);
+        WindowSchedule(true, &pool).runPipelined(layout, pipe);
+
+        EXPECT_EQ(sortedRecords(seq.errors()),
+                  sortedRecords(pipe.errors()))
+            << "seed " << seed;
+        EXPECT_EQ(seq.checksResolved(), pipe.checksResolved());
+        EXPECT_EQ(seq.sosNow().sorted(), pipe.sosNow().sorted());
+    }
+}
+
+TEST(PipelineDeterminism, DefCheckMatchesSequentialAcrossSeeds)
+{
+    for (std::uint64_t seed : {101u, 102u, 103u}) {
+        Workload w;
+        const Trace trace = mixTrace(seed, w);
+        const EpochLayout layout = EpochLayout::byGlobalSeq(trace, 512);
+
+        DefCheckConfig cfg;
+        cfg.heapBase = w.heapBase;
+        cfg.heapLimit = w.heapLimit;
+
+        ButterflyDefCheck seq(layout, cfg);
+        WindowSchedule(false).run(layout, seq);
+
+        WorkerPool pool(layout.numThreads());
+        ButterflyDefCheck pipe(layout, cfg);
+        WindowSchedule(true, &pool).runPipelined(layout, pipe);
+
+        EXPECT_EQ(sortedRecords(seq.errors()),
+                  sortedRecords(pipe.errors()))
+            << "seed " << seed;
+    }
+}
+
+TEST(PipelineDeterminism, ReachingDefsMatchesSequentialAcrossSeeds)
+{
+    for (std::uint64_t seed : {41u, 42u}) {
+        Workload w;
+        const Trace trace = mixTrace(seed, w);
+        const EpochLayout layout = EpochLayout::byGlobalSeq(trace, 512);
+        const std::size_t L = layout.numEpochs();
+
+        ReachingDefinitions seq(layout.numThreads());
+        WindowSchedule(false).run(layout, seq);
+
+        WorkerPool pool(layout.numThreads());
+        ReachingDefinitions pipe(layout.numThreads());
+        WindowSchedule(true, &pool).runPipelined(layout, pipe);
+
+        for (EpochId l = 0; l < L; ++l) {
+            EXPECT_EQ(seq.sos(l).sorted(), pipe.sos(l).sorted())
+                << "seed " << seed << " epoch " << l;
+            EXPECT_EQ(seq.genEpoch(l).sorted(), pipe.genEpoch(l).sorted())
+                << "seed " << seed << " epoch " << l;
+            for (ThreadId t = 0; t < layout.numThreads(); ++t) {
+                EXPECT_EQ(seq.blockResults(l, t).in.sorted(),
+                          pipe.blockResults(l, t).in.sorted());
+                EXPECT_EQ(seq.blockResults(l, t).out.sorted(),
+                          pipe.blockResults(l, t).out.sorted());
+            }
+        }
+    }
+}
+
+TEST(PipelineDeterminism, TaskCountMatchesGraphShape)
+{
+    Workload w;
+    const Trace trace = mixTrace(11, w);
+    const EpochLayout layout = EpochLayout::byGlobalSeq(trace, 512);
+    const std::size_t L = layout.numEpochs();
+    const std::size_t T = layout.numThreads();
+    ASSERT_GE(L, 2u);
+
+    AddrCheckConfig cfg;
+    cfg.heapBase = w.heapBase;
+    cfg.heapLimit = w.heapLimit;
+    WorkerPool pool(T);
+    ButterflyAddrCheck pipe(layout, cfg);
+    const PipelineStats stats =
+        WindowSchedule(true, &pool).runPipelined(layout, pipe);
+
+    // A(0..L) + P1 + P2 + F + R.
+    EXPECT_EQ(stats.tasksRun, (L + 1) + 2 * L * T + 2 * L);
+    EXPECT_EQ(stats.epochsFinalized, L);
+    EXPECT_EQ(stats.peakResidentEpochs, 0u); // materialized source
+}
+
+TEST(PipelineDeterminism, EmptyTraceIsANoOp)
+{
+    const Trace trace; // no threads at all
+    const EpochLayout layout = EpochLayout::byGlobalSeq(trace, 64);
+    AddrCheckConfig cfg;
+    ButterflyAddrCheck pipe(layout.numThreads(), cfg);
+    const PipelineStats stats =
+        WindowSchedule(false).runPipelined(layout, pipe);
+    EXPECT_EQ(stats.tasksRun, 0u);
+    EXPECT_TRUE(pipe.errors().records().empty());
+}
+
+// --------------------------------------------------------------------
+// EpochStream: same blocks as the materialized layout, bounded
+// residency, back-pressure accounting.
+// --------------------------------------------------------------------
+
+TEST(EpochStream, BlocksMatchMaterializedLayout)
+{
+    Workload w;
+    const Trace trace = mixTrace(22, w);
+    const std::size_t H = 512;
+    const EpochLayout layout = EpochLayout::byGlobalSeq(trace, H);
+
+    EpochStream stream(trace, EpochStream::Config{H, 4, nullptr});
+    ASSERT_EQ(stream.numEpochs(), layout.numEpochs());
+    ASSERT_EQ(stream.numThreads(), layout.numThreads());
+
+    const std::size_t L = layout.numEpochs();
+    for (EpochId l = 0; l < L; ++l) {
+        stream.acquire(l);
+        for (ThreadId t = 0; t < layout.numThreads(); ++t) {
+            const BlockView a = layout.block(l, t);
+            const BlockView b = stream.block(l, t);
+            ASSERT_EQ(a.size(), b.size()) << "l=" << l << " t=" << t;
+            EXPECT_EQ(a.first, b.first) << "l=" << l << " t=" << t;
+            EXPECT_EQ(a.epoch, b.epoch);
+            EXPECT_EQ(a.thread, b.thread);
+            for (std::size_t i = 0; i < a.size(); ++i) {
+                EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+                EXPECT_EQ(a.events[i].addr, b.events[i].addr);
+                EXPECT_EQ(a.events[i].gseq, b.events[i].gseq);
+            }
+        }
+        if (l >= 3)
+            stream.retire(l - 3);
+    }
+    while (stream.residentEpochs() > 0)
+        stream.retire(L - stream.residentEpochs());
+    EXPECT_LE(stream.peakResidentEpochs(), stream.windowEpochs());
+}
+
+TEST(EpochStream, PipelinedStreamingMatchesSequentialLayout)
+{
+    for (std::uint64_t seed : {11u, 33u}) {
+        Workload w;
+        const Trace trace = mixTrace(seed, w);
+        const std::size_t H = 512;
+        const EpochLayout layout = EpochLayout::byGlobalSeq(trace, H);
+
+        AddrCheckConfig cfg;
+        cfg.heapBase = w.heapBase;
+        cfg.heapLimit = w.heapLimit;
+
+        ButterflyAddrCheck seq(layout, cfg);
+        WindowSchedule(false).run(layout, seq);
+
+        EpochStream stream(trace, EpochStream::Config{H, 4, nullptr});
+        WorkerPool pool(stream.numThreads());
+        ButterflyAddrCheck pipe(stream.numThreads(), cfg);
+        const PipelineStats stats =
+            WindowSchedule(true, &pool).runPipelined(stream, pipe);
+
+        EXPECT_EQ(sortedRecords(seq.errors()),
+                  sortedRecords(pipe.errors()))
+            << "seed " << seed;
+        EXPECT_EQ(seq.sosNow().sorted(), pipe.sosNow().sorted());
+
+        // The whole point of streaming: bounded residency no matter how
+        // long the trace is.
+        EXPECT_GE(stats.peakResidentEpochs, 1u);
+        EXPECT_LE(stats.peakResidentEpochs, stream.windowEpochs());
+        EXPECT_EQ(stream.residentEpochs(), 0u)
+            << "every epoch must be retired by graph completion";
+    }
+}
+
+TEST(EpochStream, StrictDriverStreamsToo)
+{
+    // TAINTCHECK keeps the strict finalize order; the streaming source
+    // must still retire everything and agree with sequential.
+    WorkloadConfig wcfg;
+    wcfg.numThreads = 3;
+    wcfg.instrPerThread = 600;
+    wcfg.seed = 5;
+    Workload w = makeTaintMix(wcfg);
+    Rng bug_rng(5 ^ 0xf00d);
+    injectBugs(w, BugKind::TaintedJump, 3, bug_rng);
+    Rng rng(5 * 131 + 17);
+    const Trace trace = interleave(w.programs, InterleaveConfig{}, rng);
+
+    const std::size_t H = 240;
+    const EpochLayout layout = EpochLayout::byGlobalSeq(trace, H);
+    TaintCheckConfig cfg;
+    ButterflyTaintCheck seq(layout, cfg);
+    WindowSchedule(false).run(layout, seq);
+
+    EpochStream stream(trace, EpochStream::Config{H, 4, nullptr});
+    WorkerPool pool(stream.numThreads());
+    ButterflyTaintCheck pipe(layout, cfg);
+    const PipelineStats stats =
+        WindowSchedule(true, &pool).runPipelined(stream, pipe);
+
+    EXPECT_EQ(sortedRecords(seq.errors()), sortedRecords(pipe.errors()));
+    EXPECT_LE(stats.peakResidentEpochs, stream.windowEpochs());
+    EXPECT_EQ(stream.residentEpochs(), 0u);
+}
+
+TEST(EpochStream, BackPressureRecordsProducerStalls)
+{
+    Workload w;
+    const Trace trace = mixTrace(33, w);
+    // A buffer far smaller than one epoch: every admission overflows it,
+    // so the model must record stalls the application core would take.
+    LogBuffer buffer(/*capacity_bytes=*/64 * 16, /*record_bytes=*/16);
+    EpochStream stream(trace, EpochStream::Config{512, 4, &buffer});
+
+    AddrCheckConfig cfg;
+    cfg.heapBase = w.heapBase;
+    cfg.heapLimit = w.heapLimit;
+    WorkerPool pool(stream.numThreads());
+    ButterflyAddrCheck pipe(stream.numThreads(), cfg);
+    const PipelineStats stats =
+        WindowSchedule(true, &pool).runPipelined(stream, pipe);
+
+    EXPECT_GT(stats.producerStalls, 0u);
+    EXPECT_EQ(stats.producerStalls, buffer.producerStalls());
+}
+
+// --------------------------------------------------------------------
+// Session-level pipeline mode and the timing models' new accounting.
+// --------------------------------------------------------------------
+
+TEST(SessionPipeline, PipelineModeMatchesSequentialAcrossSeeds)
+{
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        SessionConfig cfg;
+        cfg.factory = makeRandomMix;
+        cfg.workload.numThreads = 4;
+        cfg.workload.instrPerThread = 3000;
+        cfg.workload.seed = seed;
+        cfg.epochSize = 256;
+
+        cfg.pipelineMode = false;
+        const SessionResult seq = runSession(cfg);
+        cfg.pipelineMode = true;
+        const SessionResult pipe = runSession(cfg);
+
+        EXPECT_EQ(seq.butterflyErrorCount, pipe.butterflyErrorCount);
+        EXPECT_EQ(seq.oracleErrorCount, pipe.oracleErrorCount);
+        EXPECT_EQ(seq.accuracy.truePositives, pipe.accuracy.truePositives);
+        EXPECT_EQ(seq.accuracy.falsePositives,
+                  pipe.accuracy.falsePositives);
+        EXPECT_EQ(seq.accuracy.falseNegatives,
+                  pipe.accuracy.falseNegatives);
+        EXPECT_EQ(seq.falsePositiveRate, pipe.falsePositiveRate);
+        EXPECT_EQ(seq.perf.butterfly.normalized,
+                  pipe.perf.butterfly.normalized);
+
+        // Streaming mode must report a bounded high-water mark; the
+        // barrier path reports none.
+        EXPECT_EQ(seq.peakResidentEpochs, 0u);
+        if (pipe.epochs > 0) {
+            EXPECT_GE(pipe.peakResidentEpochs, 1u);
+            EXPECT_LE(pipe.peakResidentEpochs, 4u);
+        }
+    }
+}
+
+/** Rotating-straggler timing input (thread l % T heavy in epoch l). */
+ButterflyTimingInput
+skewedTiming(std::size_t T, std::size_t L)
+{
+    ButterflyTimingInput in;
+    in.costs.assign(T, std::vector<EpochCosts>(L));
+    in.sosUpdateCost.assign(L, 50);
+    in.barrierCost = 200;
+    for (std::size_t t = 0; t < T; ++t) {
+        for (std::size_t l = 0; l < L; ++l) {
+            const std::size_t n = (t == l % T) ? 512 : 64;
+            in.costs[t][l].appCost.assign(n, 1);
+            in.costs[t][l].pass1Cost.assign(n, 10);
+            in.costs[t][l].pass2Cost = static_cast<Cycles>(n) * 8;
+        }
+    }
+    return in;
+}
+
+TEST(TimingModel, BarrierStallBreakdownSumsToBarrierWait)
+{
+    const ButterflyTimingInput in = skewedTiming(4, 12);
+    const TimingResult r = simulateButterfly(in);
+    ASSERT_EQ(r.barrierStallPerBlock.size(), 4u);
+    Cycles sum = 0;
+    for (const auto &per_thread : r.barrierStallPerBlock) {
+        ASSERT_EQ(per_thread.size(), 12u);
+        for (Cycles c : per_thread)
+            sum += c;
+    }
+    EXPECT_EQ(sum, r.barrierWaitCycles);
+    EXPECT_GT(sum, 0u); // skewed input must show barrier stalls
+}
+
+TEST(TimingModel, PipelinedBeatsBarrierOnSkewedInput)
+{
+    for (std::size_t T : {2u, 4u, 8u}) {
+        const ButterflyTimingInput in = skewedTiming(T, 16);
+        const TimingResult barrier = simulateButterfly(in);
+        const TimingResult relaxed =
+            simulateButterflyPipelined(in, T, /*strict_finalize=*/false);
+        const TimingResult strict =
+            simulateButterflyPipelined(in, T, /*strict_finalize=*/true);
+
+        // No barriers to cross: dependency scheduling can only remove
+        // wait time, never add work.
+        EXPECT_LT(relaxed.totalCycles, barrier.totalCycles) << "T=" << T;
+        EXPECT_LE(relaxed.totalCycles, strict.totalCycles) << "T=" << T;
+        // The acceptance bar: >= 1.2x at 8 threads on skewed epochs.
+        if (T == 8) {
+            EXPECT_GE(static_cast<double>(barrier.totalCycles),
+                      1.2 * static_cast<double>(relaxed.totalCycles));
+        }
+    }
+}
+
+TEST(TimingModel, SessionPerfReportIncludesPipelinedMode)
+{
+    SessionConfig cfg;
+    cfg.factory = makeRandomMix;
+    cfg.workload.numThreads = 4;
+    cfg.workload.instrPerThread = 2000;
+    cfg.epochSize = 128;
+    const SessionResult r = runSession(cfg);
+
+    EXPECT_GT(r.perf.butterflyPipelined.timing.totalCycles, 0u);
+    EXPECT_GT(r.perf.butterflyPipelined.normalized, 0.0);
+    // The pipelined schedule of the same costs can never be slower than
+    // the barrier schedule.
+    EXPECT_LE(r.perf.butterflyPipelined.timing.totalCycles,
+              r.perf.butterfly.timing.totalCycles);
+    // Per-block stall attribution reproduces the aggregate exactly.
+    Cycles sum = 0;
+    for (const auto &per_thread :
+         r.perf.butterfly.timing.barrierStallPerBlock)
+        for (Cycles c : per_thread)
+            sum += c;
+    EXPECT_EQ(sum, r.perf.butterfly.timing.barrierWaitCycles);
+}
+
+} // namespace
+} // namespace bfly

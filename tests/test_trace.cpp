@@ -180,6 +180,121 @@ TEST(EpochLayout, SkewedWithZeroSkewMatchesExact)
         EXPECT_EQ(a.block(l, 0).size(), b.block(l, 0).size());
 }
 
+TEST(EpochLayout, SkewedSlicingIsDeterministicInSeed)
+{
+    std::vector<std::vector<Event>> programs(3);
+    for (int i = 0; i < 200; ++i)
+        for (auto &p : programs)
+            p.push_back(Event::read(0x100 + i, 4));
+    Trace trace = test::traceOf(std::move(programs));
+    std::uint64_t g = 1;
+    for (int i = 0; i < 200; ++i)
+        for (auto &tt : trace.threads)
+            tt.events[i].gseq = g++;
+
+    const EpochLayout a = EpochLayout::byGlobalSeqSkewed(trace, 60, 20, 9);
+    const EpochLayout b = EpochLayout::byGlobalSeqSkewed(trace, 60, 20, 9);
+    ASSERT_EQ(a.numEpochs(), b.numEpochs());
+    for (EpochId l = 0; l < a.numEpochs(); ++l) {
+        for (ThreadId t = 0; t < 3; ++t) {
+            const BlockView ba = a.block(l, t);
+            const BlockView bb = b.block(l, t);
+            ASSERT_EQ(ba.size(), bb.size());
+            EXPECT_EQ(ba.first, bb.first);
+            for (std::size_t i = 0; i < ba.size(); ++i)
+                EXPECT_EQ(ba.events[i].gseq, bb.events[i].gseq);
+        }
+    }
+}
+
+TEST(EpochLayout, SkewedSlicingPartitionsEveryEvent)
+{
+    // Whatever the skew does to the boundaries, the blocks of one thread
+    // must stay a contiguous, in-order, exhaustive partition of that
+    // thread's filtered stream — the property the butterfly passes and
+    // globalIndex identity both rely on.
+    std::vector<std::vector<Event>> programs(2);
+    for (int i = 0; i < 300; ++i)
+        for (auto &p : programs)
+            p.push_back(Event::read(0x200 + i, 4));
+    Trace trace = test::traceOf(std::move(programs));
+    std::uint64_t g = 1;
+    for (int i = 0; i < 300; ++i)
+        for (auto &tt : trace.threads)
+            tt.events[i].gseq = g++;
+
+    const EpochLayout skewed =
+        EpochLayout::byGlobalSeqSkewed(trace, 80, 30, 21);
+    for (ThreadId t = 0; t < 2; ++t) {
+        std::size_t next = 0;
+        std::uint64_t prev_gseq = 0;
+        for (EpochId l = 0; l < skewed.numEpochs(); ++l) {
+            const BlockView blk = skewed.block(l, t);
+            EXPECT_EQ(blk.first, next) << "thread " << t << " epoch " << l;
+            for (const Event &e : blk.events) {
+                EXPECT_GT(e.gseq, prev_gseq);
+                prev_gseq = e.gseq;
+            }
+            next += blk.size();
+        }
+        EXPECT_EQ(next, trace.threads[t].events.size());
+    }
+}
+
+TEST(EpochLayout, HeartbeatsWithEmptyEpochs)
+{
+    // Back-to-back heartbeats produce an empty epoch for every thread; a
+    // stalled thread contributes empty blocks while the other advances.
+    Trace trace = test::traceOf({
+        {Event::read(1), Event::heartbeat(), Event::heartbeat(),
+         Event::read(2)},
+        {Event::heartbeat(), Event::heartbeat(), Event::read(3)},
+    });
+    const EpochLayout layout = EpochLayout::fromHeartbeats(trace);
+    EXPECT_EQ(layout.numEpochs(), 3u);
+    EXPECT_EQ(layout.block(0, 0).size(), 1u);
+    EXPECT_EQ(layout.block(1, 0).size(), 0u); // empty middle epoch
+    EXPECT_EQ(layout.block(2, 0).size(), 1u);
+    EXPECT_EQ(layout.block(0, 1).size(), 0u);
+    EXPECT_EQ(layout.block(1, 1).size(), 0u);
+    EXPECT_EQ(layout.block(2, 1).size(), 1u);
+    // first still tracks the per-thread filtered offset across empties.
+    EXPECT_EQ(layout.block(2, 0).first, 1u);
+    EXPECT_EQ(layout.block(2, 1).first, 0u);
+}
+
+TEST(EpochLayout, HeartbeatsSingleThreadTrace)
+{
+    // Degenerate single-thread monitoring: the window schedule still
+    // needs well-formed epochs (wings are just the one thread's
+    // neighbouring blocks).
+    Trace trace = test::traceOf({{Event::read(1), Event::read(2),
+                                  Event::heartbeat(), Event::read(3)}});
+    const EpochLayout layout = EpochLayout::fromHeartbeats(trace);
+    EXPECT_EQ(layout.numThreads(), 1u);
+    EXPECT_EQ(layout.numEpochs(), 2u);
+    EXPECT_EQ(layout.block(0, 0).size(), 2u);
+    EXPECT_EQ(layout.block(1, 0).size(), 1u);
+    EXPECT_EQ(layout.block(1, 0).first, 2u);
+}
+
+TEST(EpochLayout, HeartbeatsTrailingPartialEpoch)
+{
+    // Events after the last heartbeat form a final (partial) epoch, and
+    // a thread that ends exactly on a heartbeat contributes an empty
+    // trailing block rather than losing the epoch.
+    Trace trace = test::traceOf({
+        {Event::read(1), Event::heartbeat(), Event::read(2),
+         Event::read(3)},
+        {Event::read(4), Event::heartbeat()},
+    });
+    const EpochLayout layout = EpochLayout::fromHeartbeats(trace);
+    EXPECT_EQ(layout.numEpochs(), 2u);
+    EXPECT_EQ(layout.block(1, 0).size(), 2u);
+    EXPECT_EQ(layout.block(1, 1).size(), 0u);
+    EXPECT_EQ(layout.block(1, 0).first, 1u);
+}
+
 TEST(LogBuffer, CapacityFromBytes)
 {
     LogBuffer buf(8 * 1024, 16);
