@@ -24,6 +24,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <system_error>
 #include <map>
 #include <string>
 #include <tuple>
@@ -35,14 +37,21 @@
 namespace bfly::bench {
 
 /**
- * Output directory for the per-binary JSON result file, defaulting to
- * the working directory; override with BFLY_BENCH_JSON_DIR.
+ * Output directory for the per-binary JSON result file. Defaults to the
+ * directory holding the benchmark binary (i.e. inside the build tree),
+ * so running a bench from the source root cannot litter it with
+ * artifacts; override with BFLY_BENCH_JSON_DIR.
  */
 inline std::string
 benchJsonDir()
 {
-    const char *dir = std::getenv("BFLY_BENCH_JSON_DIR");
-    return dir ? dir : ".";
+    if (const char *dir = std::getenv("BFLY_BENCH_JSON_DIR"))
+        return dir;
+    std::error_code ec;
+    const auto exe = std::filesystem::read_symlink("/proc/self/exe", ec);
+    if (!ec && exe.has_parent_path())
+        return exe.parent_path().string();
+    return ".";
 }
 
 /**

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Serialized fuzz repros (`.bfz` files) — the bridge from a fuzz-found
+ * failure to a permanent regression test in tests/corpus/.
+ *
+ * A repro is a complete FuzzCase: per-thread programs (compressed with
+ * the log_codec event encoding) plus the execution parameters needed to
+ * re-derive the exact interleaving (seed, memory model, speed weights,
+ * epoch size). Global sequence numbers are deliberately *not* stored —
+ * replaying a repro runs the real interleaver, so a repro exercises the
+ * same machinery as live fuzzing, and the format stays valid even if
+ * trace internals change.
+ *
+ * Layout (all integers little-endian; varint = LEB128 as in log_codec):
+ *
+ *   magic "BFZR"  u8 version  u64 caseId  u64 interleaveSeed
+ *   varint globalH  u64 heapBase  u64 heapLimit  u8 model
+ *   varint |scenario| bytes     varint nSpeedWeights  (f64 each)
+ *   varint nThreads  then per thread: varint payloadLen, payload
+ *   (payload = log_codec encodeEvents of that thread's program)
+ */
+
+#ifndef BUTTERFLY_FUZZ_CORPUS_HPP
+#define BUTTERFLY_FUZZ_CORPUS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/trace_fuzzer.hpp"
+
+namespace bfly::fuzz {
+
+/** Serialize @p c to the .bfz byte format. */
+std::vector<std::uint8_t> encodeCase(const FuzzCase &c);
+
+/** Parse a .bfz byte buffer. Throws std::runtime_error on malformed
+ *  input (bad magic, truncation, unsupported version). */
+FuzzCase decodeCase(const std::vector<std::uint8_t> &bytes);
+
+/** Write @p c to @p path. @return false on I/O failure. */
+bool saveRepro(const FuzzCase &c, const std::string &path);
+
+/** Load a repro written by saveRepro. Throws on I/O or parse errors. */
+FuzzCase loadRepro(const std::string &path);
+
+/** All .bfz files under @p dir, sorted by filename (empty if the
+ *  directory does not exist). */
+std::vector<std::string> listCorpus(const std::string &dir);
+
+/** Canonical corpus filename for a case: `<scenario>-<caseId>.bfz`. */
+std::string reproFileName(const FuzzCase &c);
+
+} // namespace bfly::fuzz
+
+#endif // BUTTERFLY_FUZZ_CORPUS_HPP

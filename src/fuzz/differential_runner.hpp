@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Differential conformance runner: executes one fuzz case through every
+ * lifeguard in every scheduling mode and machine-checks the paper's
+ * correctness claims as properties.
+ *
+ * Invariants checked per case:
+ *
+ *  - mode equivalence (Theorem-free, but the repo's own guarantee): the
+ *    sequential barrier schedule, the parallel barrier schedule, the
+ *    pipelined task graph over a materialized layout, and the pipelined
+ *    task graph over a streaming EpochStream must produce bit-identical
+ *    reports (error records, SOS, and — for the generic reaching-defs
+ *    analysis — every per-epoch/per-block dataflow set);
+ *
+ *  - oracle subsumption (Theorems 6.1/6.2): the butterfly lifeguard
+ *    never misses an error the exact sequential oracle flags — zero
+ *    false negatives for ADDRCHECK, TAINTCHECK and DEFINEDCHECK under
+ *    the replayed true interleaving;
+ *
+ *  - epoch-size monotonicity (Fig. 12/13 direction): shrinking epochs
+ *    can only shrink ADDRCHECK's false-positive count. Checked between
+ *    the case's H and factor*H (the factor keeps boundaries nested, so
+ *    the small-epoch concurrency relation is a subset of the large one).
+ *
+ * Mutation testing: a FaultPlan deliberately corrupts one lifeguard's
+ * report (dropping records of one kind in a subset of modes) before the
+ * invariants are evaluated. A fault in some modes must surface as a
+ * mode-equivalence violation; a fault in *all* modes must surface as a
+ * false negative. The unit tests use this to prove the runner actually
+ * catches and minimizes injected lifeguard bugs.
+ */
+
+#ifndef BUTTERFLY_FUZZ_DIFFERENTIAL_RUNNER_HPP
+#define BUTTERFLY_FUZZ_DIFFERENTIAL_RUNNER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/trace_fuzzer.hpp"
+#include "lifeguards/report.hpp"
+
+namespace bfly::fuzz {
+
+/** The monitored analyses (the repo's four lifeguards). */
+enum class Lifeguard : std::uint8_t {
+    AddrCheck,
+    TaintCheck,
+    DefCheck,
+    ReachingDefs, ///< generic analysis: no errors, dataflow sets only
+};
+inline constexpr Lifeguard kAllLifeguards[] = {
+    Lifeguard::AddrCheck, Lifeguard::TaintCheck, Lifeguard::DefCheck,
+    Lifeguard::ReachingDefs};
+const char *lifeguardName(Lifeguard lg);
+
+/** Scheduling modes: {sequential, parallel, pipelined} × {full-trace,
+ *  EpochStream}. Streaming exists only for the pipelined task graph (the
+ *  barrier schedule requires a materialized layout by construction), so
+ *  the matrix has four populated cells. */
+enum class RunMode : std::uint8_t {
+    Sequential,      ///< barrier schedule, scheduler thread only
+    Parallel,        ///< barrier schedule, per-block worker fan-out
+    PipelinedLayout, ///< dependency task graph over the full trace
+    PipelinedStream, ///< dependency task graph over an EpochStream
+};
+inline constexpr RunMode kAllModes[] = {
+    RunMode::Sequential, RunMode::Parallel, RunMode::PipelinedLayout,
+    RunMode::PipelinedStream};
+const char *runModeName(RunMode mode);
+
+/** Which property a violation breaches. */
+enum class Invariant : std::uint8_t {
+    ModeEquivalence,
+    OracleSubsumption,
+    FpMonotonicity,
+};
+const char *invariantName(Invariant inv);
+
+/** Deliberate report corruption for mutation-testing the runner. */
+struct FaultPlan
+{
+    bool enabled = false;
+    Lifeguard target = Lifeguard::AddrCheck;
+    /** Records of this kind are dropped from the corrupted reports. */
+    ErrorKind dropKind = ErrorKind::UnallocatedAccess;
+    /** Bit per RunMode (1 << mode). All four bits set simulates a true
+     *  false negative; a subset simulates a scheduling-dependent bug. */
+    std::uint8_t modeMask = 0;
+
+    bool
+    corrupts(Lifeguard lg, RunMode mode) const
+    {
+        return enabled && lg == target &&
+               (modeMask & (1u << static_cast<unsigned>(mode))) != 0;
+    }
+};
+
+/** One property breach, with enough context to triage. */
+struct Violation
+{
+    Invariant invariant = Invariant::ModeEquivalence;
+    Lifeguard lifeguard = Lifeguard::AddrCheck;
+    /** Mode that diverged (mode equivalence only). */
+    RunMode mode = RunMode::Sequential;
+    std::string detail;
+
+    std::string toString() const;
+};
+
+/** Everything measured while running one case. */
+struct CaseOutcome
+{
+    std::vector<Violation> violations;
+    std::size_t events = 0;
+    std::size_t epochs = 0;
+    std::size_t oracleErrors = 0;
+    std::size_t butterflyErrors = 0; ///< ADDRCHECK sequential-mode flags
+    std::size_t falsePositives = 0;  ///< ADDRCHECK at the case's H
+
+    bool clean() const { return violations.empty(); }
+};
+
+/** Runner configuration. */
+struct RunnerConfig
+{
+    bool checkModeEquivalence = true;
+    bool checkOracleSubsumption = true;
+    bool checkFpMonotonicity = true;
+    /** Compare FP(H) against FP(factor*H); factor keeps epoch boundaries
+     *  nested so uncertainty shrinks pointwise. */
+    std::size_t monotonicityFactor = 4;
+    FaultPlan fault;
+};
+
+/** Executes cases and evaluates the conformance invariants. */
+class DifferentialRunner
+{
+  public:
+    explicit DifferentialRunner(const RunnerConfig &config = {})
+        : config_(config)
+    {}
+
+    const RunnerConfig &config() const { return config_; }
+
+    /** Run every lifeguard in every mode over @p c and check invariants. */
+    CaseOutcome run(const FuzzCase &c) const;
+
+  private:
+    RunnerConfig config_;
+};
+
+} // namespace bfly::fuzz
+
+#endif // BUTTERFLY_FUZZ_DIFFERENTIAL_RUNNER_HPP

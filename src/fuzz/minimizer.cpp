@@ -1,0 +1,96 @@
+#include "fuzz/minimizer.hpp"
+
+#include <algorithm>
+
+#include "telemetry/trace_span.hpp"
+
+namespace bfly::fuzz {
+
+namespace {
+
+/** Stable handle for one event of the original case. */
+struct EventRef
+{
+    std::size_t tid;
+    std::size_t index; ///< position in the original program
+};
+
+/** Rebuild a case keeping only @p kept (program order is preserved
+ *  because kept refs are in flattened program order). */
+FuzzCase
+project(const FuzzCase &base, const std::vector<EventRef> &kept)
+{
+    FuzzCase out = base;
+    for (auto &p : out.programs)
+        p.clear();
+    for (const EventRef &ref : kept)
+        out.programs[ref.tid].push_back(base.programs[ref.tid][ref.index]);
+    return out;
+}
+
+} // namespace
+
+TraceMinimizer::Result
+TraceMinimizer::minimize(const FuzzCase &failing) const
+{
+    telemetry::TraceSpan span("fuzz.minimize");
+
+    Result result;
+    result.minimized = failing;
+    result.fromEvents = failing.totalEvents();
+
+    const CaseOutcome original = runner_.run(failing);
+    ++result.probes;
+    if (original.violations.empty()) {
+        result.toEvents = result.fromEvents;
+        return result;
+    }
+    result.reproduced = true;
+    result.signature = {original.violations.front().invariant,
+                        original.violations.front().lifeguard};
+
+    std::vector<EventRef> kept;
+    for (std::size_t t = 0; t < failing.programs.size(); ++t)
+        for (std::size_t i = 0; i < failing.programs[t].size(); ++i)
+            kept.push_back({t, i});
+
+    // Classic ddmin: test complements of n chunks; on failure-preserving
+    // reduction restart at coarse granularity, otherwise refine.
+    std::size_t n = 2;
+    while (kept.size() >= 2 && n <= kept.size() &&
+           result.probes < config_.maxProbes) {
+        bool reduced = false;
+        const std::size_t chunk = (kept.size() + n - 1) / n;
+        for (std::size_t c = 0; c * chunk < kept.size(); ++c) {
+            std::vector<EventRef> candidate;
+            candidate.reserve(kept.size() - chunk);
+            for (std::size_t i = 0; i < kept.size(); ++i)
+                if (i / chunk != c)
+                    candidate.push_back(kept[i]);
+            if (candidate.size() == kept.size())
+                continue;
+
+            const FuzzCase trial = project(failing, candidate);
+            const CaseOutcome outcome = runner_.run(trial);
+            if (++result.probes >= config_.maxProbes && !reduced)
+                break;
+            if (result.signature.matches(outcome)) {
+                kept = std::move(candidate);
+                n = std::max<std::size_t>(2, n - 1);
+                reduced = true;
+                break;
+            }
+        }
+        if (!reduced) {
+            if (n >= kept.size())
+                break;
+            n = std::min(kept.size(), n * 2);
+        }
+    }
+
+    result.minimized = project(failing, kept);
+    result.toEvents = result.minimized.totalEvents();
+    return result;
+}
+
+} // namespace bfly::fuzz

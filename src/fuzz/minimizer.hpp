@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Delta-debugging trace minimizer (Zeller's ddmin over the case's
+ * events).
+ *
+ * A failing FuzzCase can carry hundreds of events, of which only a
+ * handful participate in the invariant violation. The minimizer shrinks
+ * the case while preserving the *failure signature* — the (invariant,
+ * lifeguard) pair of the first violation — so the minimized repro
+ * demonstrably fails for the same reason, not for a new one introduced
+ * by the reduction.
+ *
+ * Events are removed, never reordered: each candidate keeps a subset of
+ * every thread's program in program order, and threads are emptied
+ * rather than deleted so speedWeights stay index-aligned and thread ids
+ * remain stable. Interleave seed, memory model and epoch size are
+ * untouched — the reduced case replays through the same execution
+ * machinery as the original.
+ */
+
+#ifndef BUTTERFLY_FUZZ_MINIMIZER_HPP
+#define BUTTERFLY_FUZZ_MINIMIZER_HPP
+
+#include <cstddef>
+
+#include "fuzz/differential_runner.hpp"
+#include "fuzz/trace_fuzzer.hpp"
+
+namespace bfly::fuzz {
+
+/** Why the original case failed; preserved across reduction. */
+struct FailureSignature
+{
+    Invariant invariant = Invariant::ModeEquivalence;
+    Lifeguard lifeguard = Lifeguard::AddrCheck;
+
+    bool
+    matches(const CaseOutcome &outcome) const
+    {
+        for (const Violation &v : outcome.violations)
+            if (v.invariant == invariant && v.lifeguard == lifeguard)
+                return true;
+        return false;
+    }
+};
+
+/** ddmin over a failing case's events. */
+class TraceMinimizer
+{
+  public:
+    struct Config
+    {
+        /** Upper bound on differential re-runs during reduction. */
+        std::size_t maxProbes = 512;
+    };
+
+    struct Result
+    {
+        FuzzCase minimized;
+        FailureSignature signature;
+        /** False if the input case did not fail at all. */
+        bool reproduced = false;
+        std::size_t probes = 0;   ///< differential runs spent
+        std::size_t fromEvents = 0;
+        std::size_t toEvents = 0;
+    };
+
+    explicit TraceMinimizer(const DifferentialRunner &runner)
+        : runner_(runner)
+    {}
+
+    TraceMinimizer(const DifferentialRunner &runner, Config config)
+        : runner_(runner), config_(config)
+    {}
+
+    /** Shrink @p failing to a 1-minimal repro of its first violation. */
+    Result minimize(const FuzzCase &failing) const;
+
+  private:
+    const DifferentialRunner &runner_;
+    Config config_;
+};
+
+} // namespace bfly::fuzz
+
+#endif // BUTTERFLY_FUZZ_MINIMIZER_HPP

@@ -32,7 +32,9 @@ class IdempotentFilter
     bool
     hit(Addr key) const
     {
-        return slots_[key % slots_.size()] == key;
+        // Empty slots hold kNoAddr; the sentinel must never read as a
+        // cached verdict.
+        return key != kNoAddr && slots_[key % slots_.size()] == key;
     }
 
     void insert(Addr key) { slots_[key % slots_.size()] = key; }
