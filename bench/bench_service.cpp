@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Monitoring-service throughput: sessions x chunk-size sweep over a
+ * loopback Unix-domain socket.
+ *
+ * Each configuration starts one MonitorServer, then N client threads
+ * each replay the same heartbeat-marked synthetic trace through full
+ * sessions (open -> chunked log stream -> TraceEnd -> report). Reported
+ * per config: wall seconds, end-to-end monitored events/sec across all
+ * sessions, mean session latency, and Busy sheds survived. Every remote
+ * report is checked against the in-process reference — a divergence
+ * fails the binary, so the bench doubles as a conformance smoke.
+ *
+ * Writes BENCH_bench_service.json (directory overridable with
+ * BFLY_BENCH_JSON_DIR). `--quick` shrinks the sweep for CI smoke.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench/bench_common.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "trace/log_codec.hpp"
+
+namespace bfly {
+namespace {
+
+using service::MonitorClient;
+using service::MonitorServer;
+using service::RemoteReport;
+using service::RunResult;
+using service::ServerConfig;
+using service::SessionSpec;
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Heartbeat-marked synthetic trace over a private heap window: a mix
+ *  of writes and unallocated reads so ADDRCHECK does real work. */
+Trace
+makeMarkedTrace(unsigned threads, unsigned epochs, unsigned per_epoch,
+                Addr heap_base)
+{
+    Trace trace;
+    trace.threads.resize(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        trace.threads[t].tid = t;
+        std::vector<Event> &events = trace.threads[t].events;
+        const Addr base = heap_base + t * 0x10000;
+        events.push_back(Event::alloc(base, 4096));
+        for (unsigned l = 0; l < epochs; ++l) {
+            if (l > 0)
+                events.push_back(Event::heartbeat());
+            for (unsigned i = 0; i < per_epoch; ++i) {
+                const Addr addr = base + 8 * (i % 512);
+                if (i % 4 == 3)
+                    events.push_back(Event::read(addr + 0x8000, 8));
+                else if (i % 2 == 0)
+                    events.push_back(Event::write(addr, 8));
+                else
+                    events.push_back(Event::read(addr, 8));
+            }
+        }
+    }
+    return trace;
+}
+
+struct SweepResult
+{
+    std::size_t sessions = 0;
+    std::size_t chunkBytes = 0;
+    std::size_t traces = 0;
+    std::uint64_t events = 0;
+    std::uint64_t busyRetries = 0;
+    std::uint64_t mismatches = 0;
+    std::uint64_t failures = 0;
+    double wallSecs = 0;
+    double meanLatencyMs = 0;
+    double
+    eventsPerSec() const
+    {
+        return wallSecs > 0 ? static_cast<double>(events) / wallSecs
+                            : 0.0;
+    }
+};
+
+SweepResult
+benchConfig(std::size_t sessions, std::size_t chunk_bytes,
+            std::size_t traces_per_session, const Trace &marked,
+            const SessionSpec &spec, const RemoteReport &reference)
+{
+    ServerConfig scfg;
+    scfg.unixPath = "/tmp/bfly-bench-" + std::to_string(::getpid()) +
+                    "-" + std::to_string(sessions) + "-" +
+                    std::to_string(chunk_bytes) + ".sock";
+    MonitorServer server(scfg);
+    if (!server.start()) {
+        std::fprintf(stderr, "bench_service: bind failed\n");
+        std::exit(1);
+    }
+
+    SweepResult r;
+    r.sessions = sessions;
+    r.chunkBytes = chunk_bytes;
+    std::atomic<std::uint64_t> busy{0}, mismatches{0}, failures{0};
+    std::atomic<std::uint64_t> latencyUs{0};
+
+    const double t0 = now();
+    std::vector<std::thread> workers;
+    for (std::size_t s = 0; s < sessions; ++s) {
+        workers.emplace_back([&] {
+            for (std::size_t i = 0; i < traces_per_session; ++i) {
+                service::ClientConfig ccfg;
+                ccfg.chunkBytes = chunk_bytes;
+                MonitorClient client(ccfg);
+                if (!client.connectUnix(scfg.unixPath)) {
+                    failures.fetch_add(1);
+                    continue;
+                }
+                const double s0 = now();
+                const RunResult remote = client.run(spec, marked);
+                latencyUs.fetch_add(
+                    static_cast<std::uint64_t>((now() - s0) * 1e6));
+                if (!remote.ok)
+                    failures.fetch_add(1);
+                else if (!remote.report.identical(reference))
+                    mismatches.fetch_add(1);
+                busy.fetch_add(remote.busyRetries);
+            }
+        });
+    }
+    for (std::thread &t : workers)
+        t.join();
+    r.wallSecs = now() - t0;
+    server.stop();
+
+    r.traces = sessions * traces_per_session;
+    r.events = static_cast<std::uint64_t>(marked.instructionCount()) *
+               r.traces;
+    r.busyRetries = busy.load();
+    r.mismatches = mismatches.load();
+    r.failures = failures.load();
+    r.meanLatencyMs = r.traces
+                          ? static_cast<double>(latencyUs.load()) / 1000.0 /
+                                static_cast<double>(r.traces)
+                          : 0.0;
+    return r;
+}
+
+} // namespace
+} // namespace bfly
+
+int
+main(int argc, char **argv)
+{
+    using namespace bfly;
+
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    }
+
+    const Addr heap = 0x1000000;
+    const Trace marked = makeMarkedTrace(4, quick ? 8 : 24,
+                                         quick ? 100 : 400, heap);
+    SessionSpec spec;
+    spec.lifeguard = 0; // ADDRCHECK
+    spec.numThreads = static_cast<std::uint32_t>(marked.numThreads());
+    spec.granularity = 8;
+    spec.heapBase = heap;
+    spec.heapLimit = heap + 0x1000000;
+    const service::RemoteReport reference = service::analyzeReference(
+        spec, marked, EpochLayout::fromHeartbeats(marked));
+
+    const std::size_t traces_per_session = quick ? 2 : 8;
+    std::vector<std::size_t> session_counts =
+        quick ? std::vector<std::size_t>{1, 4}
+              : std::vector<std::size_t>{1, 4, 8};
+    std::vector<std::size_t> chunk_sizes =
+        quick ? std::vector<std::size_t>{64 * 1024}
+              : std::vector<std::size_t>{4 * 1024, 64 * 1024};
+
+    std::printf("%-22s %10s %12s %12s %8s\n", "config", "wall_s",
+                "events/s", "latency_ms", "busy");
+    std::vector<SweepResult> results;
+    bool clean = true;
+    for (std::size_t sessions : session_counts) {
+        for (std::size_t chunk : chunk_sizes) {
+            const SweepResult r = benchConfig(
+                sessions, chunk, traces_per_session, marked, spec,
+                reference);
+            results.push_back(r);
+            std::printf("%-22s %10.3f %12.0f %12.3f %8llu%s\n",
+                        ("s" + std::to_string(sessions) + "_c" +
+                         std::to_string(chunk))
+                            .c_str(),
+                        r.wallSecs, r.eventsPerSec(), r.meanLatencyMs,
+                        static_cast<unsigned long long>(r.busyRetries),
+                        r.mismatches + r.failures
+                            ? "  CONFORMANCE FAIL"
+                            : "");
+            if (r.mismatches + r.failures)
+                clean = false;
+        }
+    }
+
+    // Write-then-rename, like JsonRecorder: never leave a torn file.
+    const std::string path =
+        bfly::bench::benchJsonDir() + "/BENCH_bench_service.json";
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", tmp.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"bench_service\",\n  \"quick\": %s,\n"
+                 "  \"sweep\": [\n",
+                 quick ? "true" : "false");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const SweepResult &r = results[i];
+        std::fprintf(
+            f,
+            "    {\"sessions\": %zu, \"chunk_bytes\": %zu, "
+            "\"traces\": %zu, \"events\": %llu, \"wall_seconds\": %.6f, "
+            "\"events_per_sec\": %.0f, \"mean_latency_ms\": %.3f, "
+            "\"busy_retries\": %llu, \"mismatches\": %llu, "
+            "\"failures\": %llu}%s\n",
+            r.sessions, r.chunkBytes, r.traces,
+            static_cast<unsigned long long>(r.events), r.wallSecs,
+            r.eventsPerSec(), r.meanLatencyMs,
+            static_cast<unsigned long long>(r.busyRetries),
+            static_cast<unsigned long long>(r.mismatches),
+            static_cast<unsigned long long>(r.failures),
+            i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    if (std::fclose(f) != 0 || std::rename(tmp.c_str(), path.c_str())) {
+        std::remove(tmp.c_str());
+        std::fprintf(stderr, "cannot finalize %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return clean ? 0 : 1;
+}

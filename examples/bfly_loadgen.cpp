@@ -1,0 +1,327 @@
+/**
+ * @file
+ * bfly_loadgen: conformance + load driver for the monitoring service.
+ *
+ *   bfly_loadgen [--unix PATH | --tcp PORT] --sessions N --traces M
+ *                [--seed S] [--chunk-bytes B] [--json FILE] [--quiet]
+ *
+ * Replays TraceFuzzer cases across N concurrent client connections,
+ * cycling all four lifeguards. Every remote report is checked
+ * bit-for-bit (error records, SOS addresses, dataflow fingerprint)
+ * against an in-process reference run of the same trace; any divergence
+ * is a conformance failure. When no endpoint is given, an in-process
+ * MonitorServer is spun up on a private Unix socket, so the tool is
+ * self-contained for CI smoke runs.
+ *
+ * Emits a JSON throughput/latency summary (stdout and optionally
+ * --json FILE); session latency is also recorded into the telemetry
+ * registry ("loadgen.session.latency_us").
+ *
+ * Exit status: 0 on full conformance, 1 on any mismatch or failed
+ * session, 2 on usage errors.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "fuzz/trace_fuzzer.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+#include "trace/log_codec.hpp"
+
+using namespace bfly;
+using namespace bfly::service;
+
+namespace {
+
+struct Options
+{
+    std::string unixPath;
+    bool tcp = false;
+    std::uint16_t tcpPort = 0;
+    std::size_t sessions = 4;
+    std::size_t traces = 50;
+    std::uint64_t seed = 1;
+    std::size_t chunkBytes = 32 * 1024;
+    std::string jsonPath;
+    bool quiet = false;
+};
+
+struct Tally
+{
+    std::atomic<std::uint64_t> traces{0};
+    std::atomic<std::uint64_t> mismatches{0};
+    std::atomic<std::uint64_t> failures{0};
+    std::atomic<std::uint64_t> busyRetries{0};
+    std::atomic<std::uint64_t> events{0};
+    std::atomic<std::uint64_t> records{0};
+    std::atomic<std::uint64_t> partials{0};
+};
+
+void
+usage()
+{
+    std::cerr
+        << "usage: bfly_loadgen [options]\n"
+        << "  --unix PATH      connect to a Unix-domain socket\n"
+        << "  --tcp PORT       connect to loopback TCP\n"
+        << "                   (neither: in-process server is started)\n"
+        << "  --sessions N     concurrent client connections (default 4)\n"
+        << "  --traces M       total fuzzer traces to replay (default 50)\n"
+        << "  --seed S         fuzzer seed (default 1)\n"
+        << "  --chunk-bytes B  log bytes per LogChunk (default 32768)\n"
+        << "  --json FILE      also write the JSON summary to FILE\n"
+        << "  --quiet          only print the JSON summary\n";
+}
+
+SessionSpec
+specFor(const fuzz::FuzzCase &fuzz_case, const Trace &trace,
+        std::uint64_t trace_index)
+{
+    SessionSpec spec;
+    spec.lifeguard = static_cast<std::uint8_t>(trace_index % 4);
+    spec.memModel = fuzz_case.model == MemModel::TSO ? 1 : 0;
+    spec.numThreads = static_cast<std::uint32_t>(trace.numThreads());
+    spec.granularity =
+        static_cast<Lifeguard>(spec.lifeguard) == Lifeguard::TaintCheck
+            ? 4
+            : 8;
+    spec.heapBase = fuzz_case.heapBase;
+    spec.heapLimit = fuzz_case.heapLimit;
+    spec.globalH = fuzz_case.globalH;
+    spec.windowEpochs = 4;
+    return spec;
+}
+
+/** Approximate percentile of a log-scale histogram: upper bound of the
+ *  bucket where the cumulative count crosses @p q. */
+std::uint64_t
+histPercentile(const telemetry::HistogramSnapshot &h, double q)
+{
+    if (h.count == 0)
+        return 0;
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(q * static_cast<double>(h.count));
+    std::uint64_t seen = 0;
+    for (unsigned b = 0; b < telemetry::HistogramSnapshot::kBuckets; ++b) {
+        seen += h.buckets[b];
+        if (seen > target)
+            return std::uint64_t{1} << (b + 1);
+    }
+    return h.max;
+}
+
+void
+worker(const Options &opt, std::atomic<std::uint64_t> &next, Tally &tally,
+       std::mutex &log_mutex)
+{
+    fuzz::FuzzerConfig fcfg;
+    fcfg.seed = opt.seed;
+    fuzz::TraceFuzzer fuzzer(fcfg);
+    telemetry::MetricsRegistry &reg = telemetry::globalRegistry();
+    const telemetry::MetricId latency =
+        reg.histogram("loadgen.session.latency_us");
+
+    for (;;) {
+        const std::uint64_t index = next.fetch_add(1);
+        if (index >= opt.traces)
+            return;
+
+        const fuzz::FuzzCase fuzz_case =
+            fuzzer.generate(opt.seed * 1000003 + index);
+        const Trace trace = fuzz_case.materialize();
+        const EpochLayout layout =
+            EpochLayout::byGlobalSeq(trace, fuzz_case.globalH);
+        const SessionSpec spec = specFor(fuzz_case, trace, index);
+
+        const RemoteReport local = analyzeReference(spec, trace, layout);
+        const Trace marked = withHeartbeatMarkers(trace, layout);
+
+        ClientConfig ccfg;
+        ccfg.chunkBytes = opt.chunkBytes;
+        MonitorClient client(ccfg);
+        const bool connected = opt.tcp ? client.connectTcp(opt.tcpPort)
+                                       : client.connectUnix(opt.unixPath);
+        if (!connected) {
+            tally.failures.fetch_add(1);
+            std::lock_guard<std::mutex> lock(log_mutex);
+            std::cerr << "loadgen: case " << index << ": connect failed\n";
+            continue;
+        }
+
+        const auto t0 = std::chrono::steady_clock::now();
+        const RunResult remote = client.run(spec, marked);
+        const auto dt = std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0);
+        reg.observe(latency, static_cast<std::uint64_t>(dt.count()));
+
+        tally.traces.fetch_add(1);
+        tally.busyRetries.fetch_add(remote.busyRetries);
+        tally.events.fetch_add(trace.instructionCount());
+        tally.records.fetch_add(local.records.size());
+
+        if (!remote.ok) {
+            tally.failures.fetch_add(1);
+            std::lock_guard<std::mutex> lock(log_mutex);
+            std::cerr << "loadgen: case " << index << " ("
+                      << fuzz_case.scenario << ", "
+                      << lifeguardName(
+                             static_cast<Lifeguard>(spec.lifeguard))
+                      << "): session failed: " << remote.error << "\n";
+            continue;
+        }
+        if (remote.summary.status == SummaryStatus::Partial)
+            tally.partials.fetch_add(1);
+        if (!remote.report.identical(local)) {
+            tally.mismatches.fetch_add(1);
+            std::lock_guard<std::mutex> lock(log_mutex);
+            std::cerr << "loadgen: case " << index << " ("
+                      << fuzz_case.scenario << ", "
+                      << lifeguardName(
+                             static_cast<Lifeguard>(spec.lifeguard))
+                      << "): REPORT MISMATCH remote{records="
+                      << remote.report.records.size()
+                      << " sos=" << remote.report.sos.size()
+                      << " fp=" << remote.report.fingerprint
+                      << " epochs=" << remote.report.epochs
+                      << "} local{records=" << local.records.size()
+                      << " sos=" << local.sos.size()
+                      << " fp=" << local.fingerprint
+                      << " epochs=" << local.epochs << "}\n";
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--unix")
+            opt.unixPath = value();
+        else if (arg == "--tcp") {
+            opt.tcp = true;
+            opt.tcpPort = static_cast<std::uint16_t>(std::atoi(value()));
+        } else if (arg == "--sessions")
+            opt.sessions = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--traces")
+            opt.traces = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--seed")
+            opt.seed = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--chunk-bytes")
+            opt.chunkBytes = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--json")
+            opt.jsonPath = value();
+        else if (arg == "--quiet")
+            opt.quiet = true;
+        else {
+            usage();
+            return 2;
+        }
+    }
+    if (opt.sessions == 0 || opt.traces == 0) {
+        usage();
+        return 2;
+    }
+
+    telemetry::setEnabled(true);
+
+    // Self-contained mode: no endpoint given -> in-process server.
+    std::unique_ptr<MonitorServer> inProcess;
+    if (opt.unixPath.empty() && !opt.tcp) {
+        ServerConfig scfg;
+        scfg.unixPath =
+            "/tmp/bfly-loadgen-" + std::to_string(::getpid()) + ".sock";
+        inProcess = std::make_unique<MonitorServer>(scfg);
+        if (!inProcess->start()) {
+            std::cerr << "loadgen: failed to start in-process server\n";
+            return 1;
+        }
+        opt.unixPath = scfg.unixPath;
+        if (!opt.quiet)
+            std::cerr << "loadgen: in-process server on " << opt.unixPath
+                      << "\n";
+    }
+
+    Tally tally;
+    std::atomic<std::uint64_t> next{0};
+    std::mutex logMutex;
+
+    const auto wall0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(opt.sessions);
+    for (std::size_t i = 0; i < opt.sessions; ++i)
+        threads.emplace_back(
+            [&] { worker(opt, next, tally, logMutex); });
+    for (std::thread &t : threads)
+        t.join();
+    const double wallMs =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall0)
+            .count();
+
+    if (inProcess)
+        inProcess->stop();
+
+    const auto snapshot = telemetry::globalRegistry().snapshot();
+    const telemetry::HistogramSnapshot *lat =
+        snapshot.histogram("loadgen.session.latency_us");
+
+    std::ostringstream json;
+    json << "{\"sessions\": " << opt.sessions
+         << ", \"traces\": " << tally.traces.load()
+         << ", \"mismatches\": " << tally.mismatches.load()
+         << ", \"failures\": " << tally.failures.load()
+         << ", \"partials\": " << tally.partials.load()
+         << ", \"busy_retries\": " << tally.busyRetries.load()
+         << ", \"events\": " << tally.events.load()
+         << ", \"records\": " << tally.records.load()
+         << ", \"wall_ms\": " << wallMs << ", \"traces_per_sec\": "
+         << (wallMs > 0 ? 1000.0 * tally.traces.load() / wallMs : 0.0)
+         << ", \"events_per_sec\": "
+         << (wallMs > 0 ? 1000.0 * tally.events.load() / wallMs : 0.0)
+         << ", \"latency_us_mean\": " << (lat ? lat->mean() : 0.0)
+         << ", \"latency_us_p50\": "
+         << (lat ? histPercentile(*lat, 0.50) : 0)
+         << ", \"latency_us_p99\": "
+         << (lat ? histPercentile(*lat, 0.99) : 0) << "}";
+
+    std::cout << json.str() << std::endl;
+    if (!opt.jsonPath.empty()) {
+        std::ofstream out(opt.jsonPath);
+        out << json.str() << "\n";
+    }
+
+    const bool clean =
+        tally.mismatches.load() == 0 && tally.failures.load() == 0;
+    if (!opt.quiet)
+        std::cerr << "loadgen: " << (clean ? "PASS" : "FAIL") << " ("
+                  << tally.traces.load() << " traces, "
+                  << tally.mismatches.load() << " mismatches, "
+                  << tally.failures.load() << " failures)\n";
+    return clean ? 0 : 1;
+}

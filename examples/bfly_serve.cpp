@@ -1,0 +1,128 @@
+/**
+ * @file
+ * bfly_serve: run the multi-tenant butterfly monitoring daemon.
+ *
+ *   bfly_serve --unix /tmp/bfly.sock [--tcp PORT] [--workers N]
+ *              [--queue-kb K] [--budget-mb M] [--session-mb M]
+ *              [--idle-ms T] [--quiet]
+ *
+ * Listens until SIGINT/SIGTERM, then prints a one-line stats summary.
+ * Clients speak the wire protocol in src/service/wire.hpp; the stock
+ * client is bfly_loadgen (or the MonitorClient library).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "service/server.hpp"
+#include "telemetry/telemetry.hpp"
+
+using namespace bfly;
+using namespace bfly::service;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true);
+}
+
+void
+usage()
+{
+    std::cerr << "usage: bfly_serve [--unix PATH] [--tcp PORT]\n"
+              << "  --unix PATH     Unix-domain socket to listen on\n"
+              << "  --tcp PORT      loopback TCP port (0 = ephemeral)\n"
+              << "  --workers N     worker pool size (0 = hw threads)\n"
+              << "  --queue-kb K    per-session ingest queue (KiB)\n"
+              << "  --budget-mb M   server-wide byte budget (MiB)\n"
+              << "  --session-mb M  hard per-session cap (MiB)\n"
+              << "  --idle-ms T     idle-session disconnect (0 = off)\n"
+              << "  --quiet         suppress the startup banner\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServerConfig config;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--unix")
+            config.unixPath = value();
+        else if (arg == "--tcp") {
+            config.tcp = true;
+            config.tcpPort =
+                static_cast<std::uint16_t>(std::atoi(value()));
+        } else if (arg == "--workers")
+            config.workers = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--queue-kb")
+            config.mux.sessionQueueBytes =
+                std::strtoull(value(), nullptr, 10) * 1024;
+        else if (arg == "--budget-mb")
+            config.mux.globalBudgetBytes =
+                std::strtoull(value(), nullptr, 10) * 1024 * 1024;
+        else if (arg == "--session-mb")
+            config.mux.maxSessionBytes =
+                std::strtoull(value(), nullptr, 10) * 1024 * 1024;
+        else if (arg == "--idle-ms")
+            config.idleTimeoutMs = std::atoi(value());
+        else if (arg == "--quiet")
+            quiet = true;
+        else {
+            usage();
+            return 2;
+        }
+    }
+    if (config.unixPath.empty() && !config.tcp) {
+        usage();
+        return 2;
+    }
+
+    telemetry::setEnabled(true);
+
+    MonitorServer server(config);
+    if (!server.start()) {
+        std::cerr << "bfly_serve: failed to bind\n";
+        return 1;
+    }
+    if (!quiet) {
+        std::cout << "bfly_serve: listening";
+        if (!config.unixPath.empty())
+            std::cout << " unix=" << config.unixPath;
+        if (config.tcp)
+            std::cout << " tcp=127.0.0.1:" << server.tcpPort();
+        std::cout << std::endl;
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    while (!g_stop.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    server.stop();
+    std::cout << "bfly_serve: completed=" << server.sessionsCompleted()
+              << " failed=" << server.sessionsFailed()
+              << " busy_sent=" << server.busySent()
+              << " partial=" << server.partialReports() << std::endl;
+    return 0;
+}

@@ -205,9 +205,11 @@ class GraphRunner
                 seeds.push_back(id);
         for (std::size_t id : seeds) {
             nodes_[id].readyNs = traced_ ? telemetry::tracer().nowNs() : 0;
-            pool_.submitTask(&GraphRunner::trampoline, this, id);
+            pool_.submitTask(group_, &GraphRunner::trampoline, this, id);
         }
-        pool_.runTasks();
+        // Per-run completion group: several pipelined runs (one per
+        // monitoring-service session) may share one pool concurrently.
+        pool_.waitGroup(group_);
 
         PipelineStats stats;
         stats.tasksRun = tasksRun_.load(std::memory_order_relaxed);
@@ -316,7 +318,8 @@ class GraphRunner
                 1) {
                 nodes_[s].readyNs =
                     traced_ ? telemetry::tracer().nowNs() : 0;
-                pool_.submitTask(&GraphRunner::trampoline, this, s);
+                pool_.submitTask(group_, &GraphRunner::trampoline, this,
+                                 s);
             }
         }
     }
@@ -383,6 +386,7 @@ class GraphRunner
     const WindowTelemetry *w_;
     std::vector<Node> nodes_;
     std::vector<std::vector<std::uint32_t>> succ_;
+    TaskGroup group_;
     std::atomic<std::size_t> tasksRun_{0};
 };
 

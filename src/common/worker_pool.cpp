@@ -45,38 +45,53 @@ WorkerPool::runBatch(std::size_t count, void (*fn)(void *, std::size_t),
     if (count == 0)
         return;
     // Count before publishing: the items must never be observable in the
-    // queue while outstanding_ could still read as drained.
-    outstanding_.fetch_add(count, std::memory_order_relaxed);
+    // queue while the group's count could still read as drained.
+    defaultGroup_.outstanding_.fetch_add(count, std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         for (std::size_t i = 0; i < count; ++i)
-            tasks_.push_back(Task{fn, ctx, i});
+            tasks_.push_back(Task{fn, ctx, i, &defaultGroup_});
     }
     wakeCv_.notify_all();
     runTasks();
 }
 
 void
-WorkerPool::submitTask(void (*fn)(void *, std::size_t), void *ctx,
-                       std::size_t arg)
+WorkerPool::enqueue(TaskGroup &group, void (*fn)(void *, std::size_t),
+                    void *ctx, std::size_t arg)
 {
-    outstanding_.fetch_add(1, std::memory_order_relaxed);
+    group.outstanding_.fetch_add(1, std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        tasks_.push_back(Task{fn, ctx, arg});
+        tasks_.push_back(Task{fn, ctx, arg, &group});
     }
     wakeCv_.notify_one();
-    // A runTasks() caller sleeping through a momentarily empty queue
-    // wakes to help with the refill.
+    // A waiter sleeping through a momentarily empty queue wakes to help
+    // with the refill.
     doneCv_.notify_all();
 }
 
 void
-WorkerPool::finishTask()
+WorkerPool::submitTask(void (*fn)(void *, std::size_t), void *ctx,
+                       std::size_t arg)
 {
-    if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    enqueue(defaultGroup_, fn, ctx, arg);
+}
+
+void
+WorkerPool::submitTask(TaskGroup &group, void (*fn)(void *, std::size_t),
+                       void *ctx, std::size_t arg)
+{
+    enqueue(group, fn, ctx, arg);
+}
+
+void
+WorkerPool::finishTask(const Task &task)
+{
+    if (task.group->outstanding_.fetch_sub(1, std::memory_order_acq_rel) ==
+        1) {
         // The empty critical section orders this notify after the waiter
-        // either observed outstanding_ != 0 and blocked, or never blocks
+        // either observed outstanding != 0 and blocked, or never blocks
         // at all.
         { std::lock_guard<std::mutex> lock(mutex_); }
         doneCv_.notify_all();
@@ -86,20 +101,26 @@ WorkerPool::finishTask()
 void
 WorkerPool::runTasks()
 {
+    waitGroup(defaultGroup_);
+}
+
+void
+WorkerPool::waitGroup(TaskGroup &group)
+{
     for (;;) {
+        if (group.outstanding_.load(std::memory_order_acquire) == 0)
+            return;
         Task task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             if (tasks_.empty()) {
-                if (outstanding_.load(std::memory_order_acquire) == 0)
-                    return;
                 // Workers own everything still queued or running; wake
                 // to help if the queue refills, or to leave once the
-                // last task's countdown lands.
+                // group's last countdown lands.
                 doneCv_.wait(lock, [&] {
                     return !tasks_.empty() ||
-                           outstanding_.load(std::memory_order_acquire) ==
-                               0;
+                           group.outstanding_.load(
+                               std::memory_order_acquire) == 0;
                 });
                 continue;
             }
@@ -107,7 +128,7 @@ WorkerPool::runTasks()
             tasks_.pop_front();
         }
         task.fn(task.ctx, task.arg);
-        finishTask();
+        finishTask(task);
     }
 }
 
@@ -125,7 +146,7 @@ WorkerPool::workerLoop()
             tasks_.pop_front();
         }
         task.fn(task.ctx, task.arg);
-        finishTask();
+        finishTask(task);
     }
 }
 

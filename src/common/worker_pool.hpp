@@ -49,6 +49,35 @@
 
 namespace bfly {
 
+class WorkerPool;
+
+/**
+ * Completion domain for a set of tasks on a WorkerPool. Each group keeps
+ * its own submitted-but-unfinished count, so several drivers (e.g. the
+ * monitoring service's concurrent sessions) can share one pool: each
+ * submits into its own group and waits for just that group to drain,
+ * while the pool's threads execute tasks from every group in FIFO order.
+ * A group must outlive every task submitted into it.
+ */
+class TaskGroup
+{
+  public:
+    TaskGroup() = default;
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /** Tasks submitted into this group and not yet finished. */
+    std::size_t
+    outstanding() const
+    {
+        return outstanding_.load(std::memory_order_acquire);
+    }
+
+  private:
+    friend class WorkerPool;
+    std::atomic<std::size_t> outstanding_{0};
+};
+
 /** Fixed set of long-lived threads executing queued tasks. */
 class WorkerPool
 {
@@ -95,27 +124,45 @@ class WorkerPool
                   void *ctx);
 
     /**
-     * Enqueue one task for the pool's threads. Safe to call from any
-     * thread, including from inside a running task (a dependency graph
-     * submits a successor the moment its last prerequisite completes).
-     * Every submitted task must be balanced by a runTasks() in flight or
-     * to come; tasks never outlive the pool.
+     * Enqueue one task for the pool's threads into the pool's default
+     * group. Safe to call from any thread, including from inside a
+     * running task (a dependency graph submits a successor the moment
+     * its last prerequisite completes). Every submitted task must be
+     * balanced by a runTasks() in flight or to come; tasks never outlive
+     * the pool.
      */
     void submitTask(void (*fn)(void *, std::size_t), void *ctx,
                     std::size_t arg);
 
     /**
-     * Help execute queued tasks and block until every task submitted so
-     * far — plus any their bodies transitively submit — has completed.
-     * Call from the thread that seeded the root tasks; must not be
-     * called concurrently with itself or with run().
+     * Enqueue one task into @p group. Unlike the default-group overload,
+     * any number of drivers may submit into distinct groups and wait on
+     * them concurrently — this is how the monitoring service shards many
+     * sessions' pipelined window schedules onto one shared pool.
+     */
+    void submitTask(TaskGroup &group, void (*fn)(void *, std::size_t),
+                    void *ctx, std::size_t arg);
+
+    /**
+     * Help execute queued tasks and block until every default-group task
+     * submitted so far — plus any their bodies transitively submit — has
+     * completed. Call from the thread that seeded the root tasks; must
+     * not be called concurrently with itself or with run(). (Group
+     * waiters use waitGroup, which has no such restriction.)
      */
     void runTasks();
 
+    /**
+     * Help execute queued tasks (from any group — work conservation)
+     * until @p group has no outstanding tasks. Safe to call from several
+     * threads on distinct groups concurrently, and from inside a pool
+     * task (the blocked body becomes another helper, so nested waits
+     * cannot starve the pool).
+     */
+    void waitGroup(TaskGroup &group);
+
   private:
     void workerLoop();
-    /** Run one task body and publish its completion. */
-    void finishTask();
 
     /** One queued task. */
     struct Task
@@ -123,7 +170,13 @@ class WorkerPool
         void (*fn)(void *, std::size_t) = nullptr;
         void *ctx = nullptr;
         std::size_t arg = 0;
+        TaskGroup *group = nullptr;
     };
+
+    /** Run one task body and publish its completion to its group. */
+    void finishTask(const Task &task);
+    void enqueue(TaskGroup &group, void (*fn)(void *, std::size_t),
+                 void *ctx, std::size_t arg);
 
     std::vector<std::thread> threads_;
 
@@ -133,10 +186,10 @@ class WorkerPool
     bool stop_ = false;
 
     std::deque<Task> tasks_; ///< guarded by mutex_
-    /** Submitted-but-unfinished tasks; runTasks()'s completion condition.
-     *  Incremented before the task is queued, decremented after its body
-     *  returns. */
-    std::atomic<std::size_t> outstanding_{0};
+    /** Completion domain of the legacy submitTask/runTasks/run API.
+     *  Each group's count is incremented before its task is queued and
+     *  decremented after the body returns. */
+    TaskGroup defaultGroup_;
 };
 
 } // namespace bfly

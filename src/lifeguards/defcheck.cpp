@@ -49,10 +49,9 @@ definedness(const DefCheckConfig &cfg)
 
 } // namespace
 
-ButterflyDefCheck::ButterflyDefCheck(const EpochLayout &layout,
+ButterflyDefCheck::ButterflyDefCheck(std::size_t num_threads,
                                      const DefCheckConfig &config)
-    : config_(config),
-      exprs_(layout.numThreads(), definedness(config))
+    : config_(config), exprs_(num_threads, definedness(config))
 {}
 
 void

@@ -35,11 +35,10 @@ struct TaintCheckTelemetry
 
 } // namespace
 
-ButterflyTaintCheck::ButterflyTaintCheck(const EpochLayout &layout,
+ButterflyTaintCheck::ButterflyTaintCheck(std::size_t num_threads,
                                          const TaintCheckConfig &config,
                                          TaintTermination termination)
-    : config_(config), termination_(termination),
-      blocks_(layout.numThreads())
+    : config_(config), termination_(termination), blocks_(num_threads)
 {}
 
 ButterflyTaintCheck::BlockState &

@@ -58,10 +58,18 @@ enum class TaintTermination {
 class ButterflyTaintCheck : public AnalysisDriver
 {
   public:
-    ButterflyTaintCheck(const EpochLayout &layout,
+    /** Streaming-friendly: the driver only needs the thread count, so it
+     *  can run over an EpochStream without materializing a layout. */
+    ButterflyTaintCheck(std::size_t num_threads,
                         const TaintCheckConfig &config,
                         TaintTermination termination =
                             TaintTermination::SequentialConsistency);
+    ButterflyTaintCheck(const EpochLayout &layout,
+                        const TaintCheckConfig &config,
+                        TaintTermination termination =
+                            TaintTermination::SequentialConsistency)
+        : ButterflyTaintCheck(layout.numThreads(), config, termination)
+    {}
 
     // AnalysisDriver hooks.
     void pass1(const BlockView &block) override;

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Session analysis for the monitoring service: run one lifeguard over
+ * one trace and produce a canonical, comparable report.
+ *
+ * Both sides of the wire use this module. The server drives the
+ * pipelined window schedule over a streaming EpochStream (heartbeat
+ * boundaries — remote logs carry no gseq) on the shared worker pool;
+ * the client/loadgen computes a local reference with the sequential
+ * barrier schedule over a materialized layout. The reports are required
+ * to be bit-identical: records, SOS and the dataflow fingerprint all
+ * match, or the service has corrupted the analysis somewhere between
+ * the socket and the scheduler.
+ */
+
+#ifndef BUTTERFLY_SERVICE_ANALYZER_HPP
+#define BUTTERFLY_SERVICE_ANALYZER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/worker_pool.hpp"
+#include "lifeguards/report.hpp"
+#include "service/wire.hpp"
+#include "trace/epoch_slicer.hpp"
+#include "trace/trace.hpp"
+
+namespace bfly::service {
+
+/** Lifeguards a session may request (the SessionSpec::lifeguard byte). */
+enum class Lifeguard : std::uint8_t {
+    AddrCheck = 0,
+    TaintCheck = 1,
+    DefCheck = 2,
+    ReachingDefs = 3,
+};
+
+inline constexpr Lifeguard kAllLifeguards[] = {
+    Lifeguard::AddrCheck, Lifeguard::TaintCheck, Lifeguard::DefCheck,
+    Lifeguard::ReachingDefs};
+
+const char *lifeguardName(Lifeguard lg);
+
+/** One session's observable analysis result, in canonical form. */
+struct RemoteReport
+{
+    std::vector<ErrorRecord> records; ///< sorted (tid,index,addr,kind,size)
+    std::vector<Addr> sos;            ///< final SOS, sorted
+    std::uint64_t fingerprint = 0;    ///< FNV over records+SOS+dataflow
+    std::uint64_t epochs = 0;
+    std::uint64_t events = 0;         ///< non-heartbeat instructions
+    std::uint64_t peakResidentEpochs = 0; ///< streaming runs only
+
+    bool identical(const RemoteReport &other) const;
+};
+
+/**
+ * Server path: pipelined dependency-graph schedule over a bounded
+ * EpochStream sliced at the trace's embedded heartbeat markers, with
+ * graph tasks dispatched on @p pool (shared across sessions — each run
+ * waits on its own TaskGroup).
+ */
+RemoteReport analyzeStreaming(const SessionSpec &spec, const Trace &trace,
+                              WorkerPool &pool);
+
+/**
+ * Reference path: sequential barrier schedule over a materialized
+ * layout. @p layout must describe @p trace.
+ */
+RemoteReport analyzeReference(const SessionSpec &spec, const Trace &trace,
+                              const EpochLayout &layout);
+
+} // namespace bfly::service
+
+#endif // BUTTERFLY_SERVICE_ANALYZER_HPP

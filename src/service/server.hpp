@@ -1,0 +1,142 @@
+/**
+ * @file
+ * MonitorServer: the multi-tenant butterfly monitoring daemon.
+ *
+ * One event-loop thread owns every socket: it accepts connections on a
+ * TCP (loopback) and/or Unix-domain listener, splits inbound bytes into
+ * frames, and feeds the SessionMux — which does all heavy work (decode,
+ * pipelined analysis) on the shared WorkerPool. Completions cross back
+ * through the mux's queue and a self-pipe that wakes poll(), and the
+ * loop streams ErrorReport/Sos/Summary frames to the client.
+ *
+ * Failure modes are explicit, never silent:
+ *  - over-budget chunk          -> Busy frame (client rewinds, go-back-N)
+ *  - oversized / corrupt / bad  -> Reject frame, session dropped
+ *  - slow client (outbound cap) -> truncated report, final Summary frame
+ *    with status=Partial, then disconnect
+ *  - idle client (timeout set)  -> Reject(Timeout), session aborted
+ */
+
+#ifndef BUTTERFLY_SERVICE_SERVER_HPP
+#define BUTTERFLY_SERVICE_SERVER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/worker_pool.hpp"
+#include "service/session_mux.hpp"
+#include "service/wire.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace bfly::service {
+
+struct ServerConfig
+{
+    /** Unix-domain socket path ("" = no UDS listener). */
+    std::string unixPath;
+    /** Enable the TCP listener (loopback only). */
+    bool tcp = false;
+    /** TCP port; 0 = ephemeral (read back via tcpPort()). */
+    std::uint16_t tcpPort = 0;
+    /** Worker pool size; 0 = hardware concurrency. */
+    std::size_t workers = 0;
+    /** Admission control and shedding knobs. */
+    MuxConfig mux;
+    /** Outbound backlog cap per connection: a report that does not fit
+     *  is truncated and closed with Summary{status=Partial} — the
+     *  slow-client disconnect path. */
+    std::size_t maxOutboundBytes = 8 * 1024 * 1024;
+    /** Disconnect sessions idle for longer than this (0 = disabled). */
+    int idleTimeoutMs = 0;
+};
+
+class MonitorServer
+{
+  public:
+    explicit MonitorServer(ServerConfig config);
+    ~MonitorServer();
+
+    MonitorServer(const MonitorServer &) = delete;
+    MonitorServer &operator=(const MonitorServer &) = delete;
+
+    /** Bind + listen + spawn the event loop. False on bind failure. */
+    bool start();
+
+    /** Stop accepting, drop connections, drain jobs, join the loop. */
+    void stop();
+
+    /** Bound TCP port (valid after start() when tcp is enabled). */
+    std::uint16_t tcpPort() const { return boundTcpPort_; }
+
+    // Observability (test + CLI surface).
+    std::uint64_t sessionsCompleted() const { return completed_.load(); }
+    std::uint64_t sessionsFailed() const { return failed_.load(); }
+    std::uint64_t busySent() const { return busySent_.load(); }
+    std::uint64_t partialReports() const { return partial_.load(); }
+    std::size_t globalBytes() const { return mux_.globalBytes(); }
+    std::size_t activeSessions() const { return mux_.activeSessions(); }
+
+    /** Telemetry snapshot of the most recently completed session's
+     *  private registry (multi-tenancy observability). */
+    telemetry::RegistrySnapshot lastSessionMetrics() const;
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        FrameParser parser;
+        std::vector<std::uint8_t> out;
+        std::size_t outPos = 0;
+        bool wantClose = false; ///< close once the out buffer drains
+        bool open = false;      ///< SessionOpen accepted
+        std::uint64_t sessionId = 0;
+        std::uint64_t busyCount = 0;
+        std::int64_t lastActivityMs = 0;
+    };
+
+    void eventLoop();
+    void acceptAll(int listen_fd);
+    void handleReadable(Connection &conn);
+    void handleFrame(Connection &conn, const Frame &frame);
+    void flush(Connection &conn);
+    void drainCompletions();
+    void sendReport(Connection &conn, const SessionResult &result);
+    void sendFrame(Connection &conn, FrameType type,
+                   std::span<const std::uint8_t> payload);
+    void closeConnection(int fd, bool abort_session);
+    void checkIdle();
+    void wake();
+
+    ServerConfig config_;
+    int wakeFds_[2] = {-1, -1};
+    int unixFd_ = -1;
+    int tcpFd_ = -1;
+    std::uint16_t boundTcpPort_ = 0;
+
+    WorkerPool pool_;
+    SessionMux mux_;
+
+    std::thread loop_;
+    std::atomic<bool> stop_{false};
+    bool started_ = false;
+
+    std::map<int, Connection> connections_;        ///< loop thread only
+    std::map<std::uint64_t, int> sessionToFd_;     ///< loop thread only
+
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> failed_{0};
+    std::atomic<std::uint64_t> busySent_{0};
+    std::atomic<std::uint64_t> partial_{0};
+
+    mutable std::mutex metricsMutex_;
+    telemetry::RegistrySnapshot lastSessionMetrics_;
+};
+
+} // namespace bfly::service
+
+#endif // BUTTERFLY_SERVICE_SERVER_HPP

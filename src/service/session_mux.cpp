@@ -1,0 +1,460 @@
+#include "service/session_mux.hpp"
+
+#include <chrono>
+#include <deque>
+#include <thread>
+
+#include "common/logging.hpp"
+#include "telemetry/telemetry.hpp"
+#include "trace/log_codec.hpp"
+
+namespace bfly::service {
+
+namespace {
+
+/** Pre-interned service metric ids (valid for any registry instance —
+ *  the directory is process-wide, only the cells are per-session). */
+struct MuxMetrics
+{
+    telemetry::MetricId ingestBytes;
+    telemetry::MetricId ingestEvents;
+    telemetry::MetricId ingestChunks;
+    telemetry::MetricId analysisEpochs;
+    telemetry::MetricId analysisRecords;
+    telemetry::MetricId analysisSos;
+
+    static const MuxMetrics &
+    get()
+    {
+        static const MuxMetrics m = [] {
+            auto &r = telemetry::registry();
+            MuxMetrics x;
+            x.ingestBytes = r.counter("bfly.service.session.ingest_bytes");
+            x.ingestEvents = r.counter("bfly.service.session.events");
+            x.ingestChunks = r.counter("bfly.service.session.chunks");
+            x.analysisEpochs = r.counter("bfly.service.session.epochs");
+            x.analysisRecords = r.counter("bfly.service.session.records");
+            x.analysisSos = r.counter("bfly.service.session.sos");
+            return x;
+        }();
+        return m;
+    }
+};
+
+} // namespace
+
+/** One tenant's ingest + decode + analysis state. */
+struct SessionMux::Session
+{
+    std::uint64_t id = 0;
+    SessionSpec spec;
+
+    std::mutex mutex; ///< guards everything below
+
+    // Go-back-N sequencing (chunks and TraceEnd share one space).
+    std::uint64_t expectedSeq = 0;
+    bool draining = false; ///< TraceEnd accepted
+    bool failed = false;
+    bool aborted = false;
+    bool pumpScheduled = false;
+    bool analysisScheduled = false;
+
+    struct RawChunk
+    {
+        std::uint32_t tid = 0;
+        std::vector<std::uint8_t> bytes;
+    };
+    std::deque<RawChunk> queue; ///< bounded by sessionQueueBytes
+    std::size_t queuedBytes = 0;
+
+    // Decoded state: touched only by the (single in-flight) pump task
+    // and, after the pump has drained, the analysis task.
+    std::vector<ChunkedLogDecoder> decoders; ///< [tid]
+    std::vector<std::vector<Event>> decoded; ///< [tid]
+    std::size_t decodedEvents = 0;
+
+    /** Bytes currently charged against the mux's global budget. */
+    std::size_t accounted = 0;
+
+    /** The session's private telemetry registry (multi-tenancy). */
+    telemetry::MetricsRegistry metrics;
+};
+
+namespace {
+
+/** Heap context carrying a session reference through the pool's
+ *  void* task interface. */
+struct JobCtx
+{
+    SessionMux *mux;
+    std::shared_ptr<SessionMux::Session> session;
+};
+
+} // namespace
+
+SessionMux::SessionMux(WorkerPool &pool, const MuxConfig &config,
+                       std::function<void()> wake)
+    : pool_(pool), config_(config), wake_(std::move(wake))
+{
+    if (config_.maxSessionBytes > config_.globalBudgetBytes)
+        config_.maxSessionBytes = config_.globalBudgetBytes;
+}
+
+SessionMux::~SessionMux()
+{
+    pool_.waitGroup(jobs_);
+}
+
+std::uint64_t
+SessionMux::open(const SessionSpec &spec)
+{
+    auto session = std::make_shared<Session>();
+    session->spec = spec;
+    session->decoders.resize(spec.numThreads);
+    session->decoded.resize(spec.numThreads);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    session->id = nextId_++;
+    sessions_.emplace(session->id, session);
+    return session->id;
+}
+
+std::shared_ptr<SessionMux::Session>
+SessionMux::find(std::uint64_t session_id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(session_id);
+    return it == sessions_.end() ? nullptr : it->second;
+}
+
+void
+SessionMux::erase(std::uint64_t session_id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sessions_.erase(session_id);
+}
+
+Admission
+SessionMux::submitChunk(std::uint64_t session_id, const ChunkHeader &header,
+                        std::span<const std::uint8_t> log, BusyInfo &busy,
+                        RejectInfo &reject)
+{
+    auto session = find(session_id);
+    if (!session) {
+        reject = {RejectCode::Protocol, "unknown session"};
+        return Admission::Rejected;
+    }
+
+    bool schedule_pump = false;
+    {
+        std::lock_guard<std::mutex> lock(session->mutex);
+        if (session->failed || session->aborted || session->draining)
+            return Admission::Ignored;
+        if (header.seq != session->expectedSeq)
+            return Admission::Ignored; // go-back-N flood after a shed
+
+        if (header.tid >= session->spec.numThreads) {
+            session->failed = true;
+            globalBytes_.fetch_sub(session->accounted,
+                                   std::memory_order_relaxed);
+            session->accounted = 0;
+            reject = {RejectCode::Protocol, "chunk tid out of range"};
+        } else if (session->accounted + log.size() >
+                   config_.maxSessionBytes) {
+            session->failed = true;
+            globalBytes_.fetch_sub(session->accounted,
+                                   std::memory_order_relaxed);
+            session->accounted = 0;
+            reject = {RejectCode::TooLarge,
+                      "session exceeds its byte cap"};
+        } else if (session->queuedBytes >= config_.sessionQueueBytes) {
+            busy = {BusyReason::SessionQueueFull, header.seq,
+                    config_.busyRetryMs};
+            return Admission::Busy;
+        } else {
+            const std::size_t global =
+                globalBytes_.load(std::memory_order_relaxed);
+            if (global + log.size() > config_.globalBudgetBytes) {
+                if (global > session->accounted) {
+                    // Other tenants hold budget; they will release it.
+                    busy = {BusyReason::GlobalBudget, header.seq,
+                            config_.busyRetryMs * 4};
+                    return Admission::Busy;
+                }
+                // This session alone exhausts the budget: permanent.
+                session->failed = true;
+                globalBytes_.fetch_sub(session->accounted,
+                                       std::memory_order_relaxed);
+                session->accounted = 0;
+                reject = {RejectCode::TooLarge,
+                          "session exceeds the global byte budget"};
+            }
+        }
+        if (!session->failed) {
+            session->expectedSeq = header.seq + 1;
+            session->queuedBytes += log.size();
+            session->accounted += log.size();
+            globalBytes_.fetch_add(log.size(), std::memory_order_relaxed);
+            session->queue.push_back(Session::RawChunk{
+                header.tid,
+                std::vector<std::uint8_t>(log.begin(), log.end())});
+            if (!session->pumpScheduled) {
+                session->pumpScheduled = true;
+                schedule_pump = true;
+            }
+        }
+    }
+    if (schedule_pump)
+        pool_.submitTask(jobs_, &SessionMux::pumpTrampoline,
+                         new JobCtx{this, session}, 0);
+    if (reject.message.empty())
+        return Admission::Accepted;
+    erase(session_id);
+    return Admission::Rejected;
+}
+
+Admission
+SessionMux::submitTraceEnd(std::uint64_t session_id, std::uint64_t seq,
+                           BusyInfo &busy, RejectInfo &reject)
+{
+    (void)busy;
+    auto session = find(session_id);
+    if (!session) {
+        reject = {RejectCode::Protocol, "unknown session"};
+        return Admission::Rejected;
+    }
+    std::lock_guard<std::mutex> lock(session->mutex);
+    if (session->failed || session->aborted || session->draining)
+        return Admission::Ignored;
+    if (seq != session->expectedSeq)
+        return Admission::Ignored;
+    session->expectedSeq = seq + 1;
+    session->draining = true;
+    maybeScheduleAnalysis(session);
+    return Admission::Accepted;
+}
+
+void
+SessionMux::abort(std::uint64_t session_id)
+{
+    auto session = find(session_id);
+    if (!session)
+        return;
+    erase(session_id);
+    std::lock_guard<std::mutex> lock(session->mutex);
+    session->aborted = true;
+    session->queue.clear();
+    session->queuedBytes = 0;
+    globalBytes_.fetch_sub(session->accounted, std::memory_order_relaxed);
+    session->accounted = 0;
+}
+
+void
+SessionMux::maybeScheduleAnalysis(const std::shared_ptr<Session> &session)
+{
+    if (!session->draining || session->analysisScheduled ||
+        session->failed || session->aborted || session->pumpScheduled ||
+        !session->queue.empty())
+        return;
+    session->analysisScheduled = true;
+    pool_.submitTask(jobs_, &SessionMux::analysisTrampoline,
+                     new JobCtx{this, session}, 0);
+}
+
+void
+SessionMux::pumpTrampoline(void *ctx, std::size_t)
+{
+    std::unique_ptr<JobCtx> job(static_cast<JobCtx *>(ctx));
+    job->mux->pump(job->session);
+}
+
+void
+SessionMux::pump(const std::shared_ptr<Session> &session)
+{
+    telemetry::ScopedRegistry scoped(&session->metrics);
+    const bool traced = telemetry::enabled();
+    const MuxMetrics &metrics = MuxMetrics::get();
+
+    for (;;) {
+        Session::RawChunk chunk;
+        {
+            std::lock_guard<std::mutex> lock(session->mutex);
+            if (session->failed || session->aborted) {
+                session->pumpScheduled = false;
+                return;
+            }
+            if (session->queue.empty()) {
+                session->pumpScheduled = false;
+                maybeScheduleAnalysis(session);
+                return;
+            }
+            chunk = std::move(session->queue.front());
+            session->queue.pop_front();
+        }
+
+        if (config_.debugPumpDelayMs > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(config_.debugPumpDelayMs));
+
+        // Decode outside the lock: decoders/decoded are owned by the
+        // single in-flight pump.
+        ChunkedLogDecoder &decoder = session->decoders[chunk.tid];
+        decoder.feed(chunk.bytes);
+        std::vector<Event> &out = session->decoded[chunk.tid];
+        Event e;
+        DecodeStatus status;
+        std::size_t decoded_now = 0;
+        while ((status = decoder.next(e)) == DecodeStatus::Ok) {
+            out.push_back(e);
+            ++decoded_now;
+        }
+        if (status == DecodeStatus::Corrupt) {
+            failSession(session, RejectCode::CorruptLog,
+                        "log bytes failed to decode");
+            return;
+        }
+
+        const std::size_t event_bytes = decoded_now * sizeof(Event);
+        bool too_large = false;
+        {
+            std::lock_guard<std::mutex> lock(session->mutex);
+            if (session->failed || session->aborted) {
+                session->pumpScheduled = false;
+                return;
+            }
+            session->queuedBytes -= chunk.bytes.size();
+            session->decodedEvents += decoded_now;
+            session->accounted += event_bytes;
+            session->accounted -= chunk.bytes.size();
+            globalBytes_.fetch_add(event_bytes, std::memory_order_relaxed);
+            globalBytes_.fetch_sub(chunk.bytes.size(),
+                                   std::memory_order_relaxed);
+            too_large = session->decodedEvents > config_.maxSessionEvents ||
+                        session->accounted > config_.maxSessionBytes;
+        }
+        if (too_large) {
+            failSession(session, RejectCode::TooLarge,
+                        "decoded trace exceeds the session cap");
+            return;
+        }
+        if (traced) {
+            auto &r = telemetry::registry();
+            r.add(metrics.ingestChunks, 1);
+            r.add(metrics.ingestBytes, chunk.bytes.size());
+            r.add(metrics.ingestEvents, decoded_now);
+        }
+    }
+}
+
+void
+SessionMux::analysisTrampoline(void *ctx, std::size_t)
+{
+    std::unique_ptr<JobCtx> job(static_cast<JobCtx *>(ctx));
+    job->mux->analyze(job->session);
+}
+
+void
+SessionMux::analyze(const std::shared_ptr<Session> &session)
+{
+    telemetry::ScopedRegistry scoped(&session->metrics);
+
+    Trace trace;
+    {
+        std::lock_guard<std::mutex> lock(session->mutex);
+        if (session->failed || session->aborted)
+            return;
+        trace.threads.resize(session->spec.numThreads);
+        for (std::uint32_t t = 0; t < session->spec.numThreads; ++t) {
+            trace.threads[t].tid = t;
+            trace.threads[t].events = std::move(session->decoded[t]);
+        }
+    }
+
+    // The pipelined schedule's task graph dispatches on the shared pool;
+    // its GraphRunner waits on its own TaskGroup, so concurrent sessions
+    // never steal each other's completion signal.
+    RemoteReport report = analyzeStreaming(session->spec, trace, pool_);
+
+    if (telemetry::enabled()) {
+        const MuxMetrics &metrics = MuxMetrics::get();
+        auto &r = telemetry::registry();
+        r.add(metrics.analysisEpochs, report.epochs);
+        r.add(metrics.analysisRecords, report.records.size());
+        r.add(metrics.analysisSos, report.sos.size());
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(session->mutex);
+        globalBytes_.fetch_sub(session->accounted,
+                               std::memory_order_relaxed);
+        session->accounted = 0;
+    }
+    erase(session->id);
+
+    SessionResult result;
+    result.sessionId = session->id;
+    result.report = std::move(report);
+    result.metrics = session->metrics.snapshot();
+    publish(std::move(result));
+}
+
+void
+SessionMux::failSession(const std::shared_ptr<Session> &session,
+                        RejectCode code, std::string message)
+{
+    {
+        std::lock_guard<std::mutex> lock(session->mutex);
+        if (session->failed || session->aborted)
+            return;
+        session->failed = true;
+        session->pumpScheduled = false;
+        session->queue.clear();
+        session->queuedBytes = 0;
+        globalBytes_.fetch_sub(session->accounted,
+                               std::memory_order_relaxed);
+        session->accounted = 0;
+    }
+    erase(session->id);
+
+    SessionResult result;
+    result.sessionId = session->id;
+    result.failed = true;
+    result.reject = {code, std::move(message)};
+    result.metrics = session->metrics.snapshot();
+    publish(std::move(result));
+}
+
+void
+SessionMux::publish(SessionResult result)
+{
+    {
+        std::lock_guard<std::mutex> lock(completedMutex_);
+        completed_.push_back(std::move(result));
+    }
+    if (wake_)
+        wake_();
+}
+
+std::vector<SessionResult>
+SessionMux::drainCompleted()
+{
+    std::lock_guard<std::mutex> lock(completedMutex_);
+    std::vector<SessionResult> out;
+    out.swap(completed_);
+    return out;
+}
+
+std::size_t
+SessionMux::globalBytes() const
+{
+    return globalBytes_.load(std::memory_order_relaxed);
+}
+
+std::size_t
+SessionMux::activeSessions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sessions_.size();
+}
+
+} // namespace bfly::service

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Session multiplexer: shards concurrent monitoring sessions onto the
+ * shared WorkerPool with bounded ingest and explicit load shedding.
+ *
+ * Each session owns a bounded queue of raw log chunks (the service's
+ * LogBuffer analogue: the network is the producer, the decode pump the
+ * consumer). The event loop enqueues accepted chunks and a pump task —
+ * one in flight per session, running on the shared pool — drains the
+ * queue through a per-thread ChunkedLogDecoder into the session's
+ * decoded trace. When the queue is at capacity, or the server-wide byte
+ * budget (queued + decoded bytes across all sessions) is exhausted, the
+ * chunk is shed with a Busy outcome and the client rewinds (go-back-N).
+ * A session whose own footprint exceeds its hard cap is rejected
+ * outright — that is not a transient condition, so retrying would
+ * livelock.
+ *
+ * After TraceEnd drains, an analysis job runs the pipelined window
+ * schedule over a streaming EpochStream (O(window) resident epochs) on
+ * the same pool, inside the session's telemetry registry. Completion
+ * results cross back to the event loop through a mutex-protected queue
+ * plus a caller-supplied wake callback (the server writes a self-pipe).
+ *
+ * Threading contract: open/submit/abort are called only from the
+ * server's event loop thread; pump and analysis tasks run on the pool;
+ * per-session state is guarded by the session's mutex, the session map
+ * by the mux's, and the byte budget is atomic.
+ */
+
+#ifndef BUTTERFLY_SERVICE_SESSION_MUX_HPP
+#define BUTTERFLY_SERVICE_SESSION_MUX_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/worker_pool.hpp"
+#include "service/analyzer.hpp"
+#include "service/wire.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace bfly::service {
+
+struct MuxConfig
+{
+    /** Per-session ingest queue watermark: a chunk is admitted while the
+     *  queued bytes are below this (LogBuffer-style overshoot by at most
+     *  one chunk), shed with Busy otherwise. */
+    std::size_t sessionQueueBytes = 256 * 1024;
+    /** Server-wide budget over queued + decoded bytes of all sessions. */
+    std::size_t globalBudgetBytes = 64 * 1024 * 1024;
+    /** Hard per-session footprint cap; exceeding it is a Reject, not a
+     *  Busy (the client's data simply does not fit). Clamped to the
+     *  global budget. */
+    std::size_t maxSessionBytes = 16 * 1024 * 1024;
+    /** Hard cap on decoded events per session. */
+    std::size_t maxSessionEvents = 1u << 22;
+    /** Backoff hint carried in Busy frames. */
+    std::uint64_t busyRetryMs = 2;
+    /** Test hook: delay (ms) before the pump decodes each chunk, making
+     *  queue-full shedding deterministic in back-pressure tests. */
+    int debugPumpDelayMs = 0;
+};
+
+/** Verdict of one admission attempt. */
+enum class Admission : std::uint8_t {
+    Accepted, ///< chunk applied (in sequence, within budget)
+    Ignored,  ///< out-of-sequence duplicate/flood; silently dropped
+    Busy,     ///< shed; client must rewind to busy.seq and retry
+    Rejected, ///< session is over; reject carries the reason
+};
+
+/** What a finished session hands back to the event loop. */
+struct SessionResult
+{
+    std::uint64_t sessionId = 0;
+    bool failed = false;
+    RejectInfo reject;   ///< valid when failed
+    RemoteReport report; ///< valid when !failed
+    /** Snapshot of the session's private telemetry registry. */
+    telemetry::RegistrySnapshot metrics;
+};
+
+class SessionMux
+{
+  public:
+    struct Session; ///< defined in session_mux.cpp
+
+    /** @param wake  called (possibly from a pool thread) after a result
+     *               is queued; must be async-signal-ish cheap. */
+    SessionMux(WorkerPool &pool, const MuxConfig &config,
+               std::function<void()> wake);
+    /** Drains all in-flight pump/analysis tasks before returning. */
+    ~SessionMux();
+
+    SessionMux(const SessionMux &) = delete;
+    SessionMux &operator=(const SessionMux &) = delete;
+
+    /** Admit a new session. @return its id. */
+    std::uint64_t open(const SessionSpec &spec);
+
+    /** Admission + enqueue of one log chunk. On Busy fills @p busy, on
+     *  Rejected fills @p reject (and the session is gone). */
+    Admission submitChunk(std::uint64_t session_id,
+                          const ChunkHeader &header,
+                          std::span<const std::uint8_t> log,
+                          BusyInfo &busy, RejectInfo &reject);
+
+    /** Admission of the end-of-trace marker (same sequence space). */
+    Admission submitTraceEnd(std::uint64_t session_id, std::uint64_t seq,
+                             BusyInfo &busy, RejectInfo &reject);
+
+    /** Connection died: drop the session and free its budget. */
+    void abort(std::uint64_t session_id);
+
+    /** Results completed since the last drain (any order). */
+    std::vector<SessionResult> drainCompleted();
+
+    /** Bytes currently accounted against the global budget. */
+    std::size_t globalBytes() const;
+
+    /** Sessions currently open (excludes completed/aborted). */
+    std::size_t activeSessions() const;
+
+  private:
+    static void pumpTrampoline(void *ctx, std::size_t);
+    void pump(const std::shared_ptr<Session> &session);
+    static void analysisTrampoline(void *ctx, std::size_t);
+    void analyze(const std::shared_ptr<Session> &session);
+
+    /** Queue the analysis job if the session is ready for it. Caller
+     *  holds the session mutex. */
+    void maybeScheduleAnalysis(const std::shared_ptr<Session> &session);
+
+    /** Fail the session from a pool task and publish the result. */
+    void failSession(const std::shared_ptr<Session> &session,
+                     RejectCode code, std::string message);
+
+    void publish(SessionResult result);
+
+    std::shared_ptr<Session> find(std::uint64_t session_id);
+    void erase(std::uint64_t session_id);
+
+    WorkerPool &pool_;
+    MuxConfig config_;
+    std::function<void()> wake_;
+
+    mutable std::mutex mutex_; ///< guards sessions_ and nextId_
+    std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+    std::uint64_t nextId_ = 1;
+
+    std::atomic<std::size_t> globalBytes_{0};
+
+    std::mutex completedMutex_;
+    std::vector<SessionResult> completed_;
+
+    /** Completion domain of all pump/analysis tasks this mux submitted. */
+    TaskGroup jobs_;
+};
+
+} // namespace bfly::service
+
+#endif // BUTTERFLY_SERVICE_SESSION_MUX_HPP

@@ -40,6 +40,41 @@ Interner::size() const
     return names_.size();
 }
 
+// -------------------------------------------------------- MetricDirectory
+
+namespace {
+
+/**
+ * Process-wide name -> MetricId mapping shared by every MetricsRegistry
+ * instance. Splitting the directory from the value cells is what makes a
+ * MetricId cached in a `static const` telemetry struct valid against any
+ * registry instance: the id is a stable index; each instance merely
+ * holds (lazily allocated) cells for it.
+ */
+struct MetricDirectory
+{
+    struct Info
+    {
+        std::string name;
+        MetricId id = kNoMetric;
+    };
+
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, MetricId> byName;
+    std::vector<Info> infos; // in registration order
+    std::uint32_t nextScalar = 0;
+    std::uint32_t nextHist = 0;
+
+    static MetricDirectory &
+    get()
+    {
+        static MetricDirectory *d = new MetricDirectory;
+        return *d;
+    }
+};
+
+} // namespace
+
 // -------------------------------------------------------- MetricsRegistry
 
 unsigned
@@ -51,36 +86,47 @@ MetricsRegistry::bucketIndex(std::uint64_t value)
     return b < kHistBuckets ? b : kHistBuckets - 1;
 }
 
+namespace {
+
 MetricId
-MetricsRegistry::registerMetric(MetricKind kind, std::string_view name)
+registerMetric(MetricKind kind, std::string_view name)
 {
-    std::lock_guard<std::mutex> guard(mutex_);
-    auto it = byName_.find(std::string(name));
-    if (it != byName_.end())
+    constexpr std::uint32_t kChunkShift = 8;
+    constexpr std::uint32_t kMaxChunks = 256;
+    constexpr std::uint32_t kMaxHists = 1024;
+    constexpr std::uint32_t kKindShift = 30;
+
+    MetricDirectory &dir = MetricDirectory::get();
+    std::lock_guard<std::mutex> guard(dir.mutex);
+    auto it = dir.byName.find(std::string(name));
+    if (it != dir.byName.end())
         return it->second; // first registration's kind wins
 
-    MetricId id = kNoMetric;
+    std::uint32_t index = 0;
     if (kind == MetricKind::Histogram) {
-        if (nextHist_ >= kMaxHists)
+        if (dir.nextHist >= kMaxHists)
             return kNoMetric; // out of slots: silently a no-op metric
-        const std::uint32_t index = nextHist_++;
-        if (hists_[index].load(std::memory_order_acquire) == nullptr)
-            hists_[index].store(new HistCell, std::memory_order_release);
-        id = makeId(kind, index);
+        index = dir.nextHist++;
     } else {
-        const std::uint32_t index = nextScalar_;
-        const std::uint32_t chunk = index >> kChunkShift;
-        if (chunk >= kMaxChunks)
+        if ((dir.nextScalar >> kChunkShift) >= kMaxChunks)
             return kNoMetric;
-        ++nextScalar_;
-        if (chunks_[chunk].load(std::memory_order_acquire) == nullptr)
-            chunks_[chunk].store(new ScalarChunk,
-                                 std::memory_order_release);
-        id = makeId(kind, index);
+        index = dir.nextScalar++;
     }
-    byName_.emplace(std::string(name), id);
-    infos_.push_back(Info{std::string(name), id});
+    const MetricId id =
+        (static_cast<std::uint32_t>(kind) << kKindShift) | index;
+    dir.byName.emplace(std::string(name), id);
+    dir.infos.push_back(MetricDirectory::Info{std::string(name), id});
     return id;
+}
+
+} // namespace
+
+MetricsRegistry::~MetricsRegistry()
+{
+    for (auto &chunk : chunks_)
+        delete chunk.load(std::memory_order_acquire);
+    for (auto &hist : hists_)
+        delete hist.load(std::memory_order_acquire);
 }
 
 MetricId
@@ -111,8 +157,18 @@ MetricsRegistry::scalarCell(MetricId id) const
     if (chunk >= kMaxChunks)
         return nullptr;
     ScalarChunk *c = chunks_[chunk].load(std::memory_order_acquire);
-    if (!c)
-        return nullptr;
+    if (!c) {
+        // First touch of this chunk in this instance: allocate and
+        // publish; a racing toucher's allocation wins or is discarded.
+        auto *fresh = new ScalarChunk;
+        if (chunks_[chunk].compare_exchange_strong(
+                c, fresh, std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+            c = fresh;
+        } else {
+            delete fresh; // c now holds the winner
+        }
+    }
     return &c->cells[index & (kChunkSize - 1)];
 }
 
@@ -124,7 +180,18 @@ MetricsRegistry::histCell(MetricId id) const
     const std::uint32_t index = indexOf(id);
     if (index >= kMaxHists)
         return nullptr;
-    return hists_[index].load(std::memory_order_acquire);
+    HistCell *h = hists_[index].load(std::memory_order_acquire);
+    if (!h) {
+        auto *fresh = new HistCell;
+        if (hists_[index].compare_exchange_strong(
+                h, fresh, std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+            h = fresh;
+        } else {
+            delete fresh;
+        }
+    }
+    return h;
 }
 
 void
@@ -162,13 +229,14 @@ RegistrySnapshot
 MetricsRegistry::snapshot() const
 {
     RegistrySnapshot snap;
-    std::vector<Info> infos;
+    std::vector<MetricDirectory::Info> infos;
     {
-        std::lock_guard<std::mutex> guard(mutex_);
-        infos = infos_;
+        MetricDirectory &dir = MetricDirectory::get();
+        std::lock_guard<std::mutex> guard(dir.mutex);
+        infos = dir.infos;
     }
     snap.metrics.reserve(infos.size());
-    for (const Info &info : infos) {
+    for (const auto &info : infos) {
         MetricSnapshot m;
         m.name = info.name;
         m.kind = kindOf(info.id);
@@ -198,14 +266,21 @@ MetricsRegistry::snapshot() const
 void
 MetricsRegistry::clear()
 {
-    std::lock_guard<std::mutex> guard(mutex_);
-    for (std::uint32_t i = 0; i < nextScalar_; ++i) {
+    std::uint32_t scalars = 0;
+    std::uint32_t hists = 0;
+    {
+        MetricDirectory &dir = MetricDirectory::get();
+        std::lock_guard<std::mutex> guard(dir.mutex);
+        scalars = dir.nextScalar;
+        hists = dir.nextHist;
+    }
+    for (std::uint32_t i = 0; i < scalars; ++i) {
         ScalarChunk *c = chunks_[i >> kChunkShift].load();
         if (c)
             c->cells[i & (kChunkSize - 1)].store(
                 0, std::memory_order_relaxed);
     }
-    for (std::uint32_t i = 0; i < nextHist_; ++i) {
+    for (std::uint32_t i = 0; i < hists; ++i) {
         HistCell *h = hists_[i].load();
         if (!h)
             continue;
@@ -221,8 +296,9 @@ MetricsRegistry::clear()
 std::size_t
 MetricsRegistry::metricCount() const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
-    return infos_.size();
+    MetricDirectory &dir = MetricDirectory::get();
+    std::lock_guard<std::mutex> guard(dir.mutex);
+    return dir.infos.size();
 }
 
 // ----------------------------------------------------------- RegistrySnapshot
@@ -247,11 +323,34 @@ RegistrySnapshot::histogram(std::string_view name) const
 
 // ------------------------------------------------------------------ globals
 
+namespace {
+/** Innermost ScopedRegistry target; null = process-global default. */
+thread_local MetricsRegistry *t_currentRegistry = nullptr;
+} // namespace
+
 MetricsRegistry &
-registry()
+globalRegistry()
 {
     static MetricsRegistry *r = new MetricsRegistry;
     return *r;
+}
+
+MetricsRegistry &
+registry()
+{
+    MetricsRegistry *current = t_currentRegistry;
+    return current ? *current : globalRegistry();
+}
+
+ScopedRegistry::ScopedRegistry(MetricsRegistry *target)
+    : prev_(t_currentRegistry)
+{
+    t_currentRegistry = target;
+}
+
+ScopedRegistry::~ScopedRegistry()
+{
+    t_currentRegistry = prev_;
 }
 
 Interner &

@@ -96,14 +96,33 @@ struct RegistrySnapshot
     const HistogramSnapshot *histogram(std::string_view name) const;
 };
 
-/** Thread-safe registry of typed metrics with interned IDs. */
+/**
+ * Thread-safe registry of typed metrics with interned IDs.
+ *
+ * Multi-tenancy: the name -> MetricId mapping lives in one process-wide
+ * directory shared by every registry *instance*, so a MetricId cached by
+ * an instrumentation site (the `static const` telemetry structs) is
+ * valid against any instance — only the value cells are per-instance.
+ * The monitoring service gives each session its own registry (values
+ * recorded by concurrent sessions never interleave) while single-session
+ * CLIs keep using the process-global default; see registry() /
+ * ScopedRegistry below. Cells are allocated lazily on first touch per
+ * instance, so a fresh session registry costs nothing for metrics the
+ * session never records.
+ */
 class MetricsRegistry
 {
   public:
     static constexpr unsigned kHistBuckets = HistogramSnapshot::kBuckets;
 
-    /** Register (or find) a metric. Idempotent per name; the kind of the
-     *  first registration wins. Never invalidates issued ids. */
+    MetricsRegistry() = default;
+    ~MetricsRegistry();
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Register (or find) a metric in the process-wide directory.
+     *  Idempotent per name; the kind of the first registration wins.
+     *  Never invalidates issued ids; ids are valid for every instance. */
     MetricId counter(std::string_view name);
     MetricId gauge(std::string_view name);
     MetricId histogram(std::string_view name);
@@ -175,29 +194,43 @@ class MetricsRegistry
     /** Bucket for @p value: floor(log2(value)), 0 for value <= 1. */
     static unsigned bucketIndex(std::uint64_t value);
 
-    MetricId registerMetric(MetricKind kind, std::string_view name);
-
+    /** Cell of @p id in *this* instance, allocated on first touch. */
     std::atomic<std::uint64_t> *scalarCell(MetricId id) const;
     HistCell *histCell(MetricId id) const;
-
-    struct Info
-    {
-        std::string name;
-        MetricId id = kNoMetric;
-    };
-
-    mutable std::mutex mutex_; // guards registration state below
-    std::unordered_map<std::string, MetricId> byName_;
-    std::vector<Info> infos_; // in registration order
-    std::uint32_t nextScalar_ = 0;
-    std::uint32_t nextHist_ = 0;
 
     mutable std::array<std::atomic<ScalarChunk *>, kMaxChunks> chunks_{};
     mutable std::array<std::atomic<HistCell *>, kMaxHists> hists_{};
 };
 
-/** The process-wide registry every component publishes into. */
+/**
+ * Make @p target the calling thread's current registry() for the scope's
+ * lifetime (nullptr restores the process-global default). The monitoring
+ * service wraps each session's ingest and analysis driver in one of
+ * these, so instrumentation sites publish into the session's registry
+ * without knowing sessions exist.
+ */
+class ScopedRegistry
+{
+  public:
+    explicit ScopedRegistry(MetricsRegistry *target);
+    ~ScopedRegistry();
+    ScopedRegistry(const ScopedRegistry &) = delete;
+    ScopedRegistry &operator=(const ScopedRegistry &) = delete;
+
+  private:
+    MetricsRegistry *prev_;
+};
+
+/**
+ * The calling thread's current registry: the one installed by the
+ * innermost live ScopedRegistry, else the process-global default. Every
+ * instrumentation site publishes through this accessor, so single-session
+ * CLIs see exactly the old process-global behaviour.
+ */
 MetricsRegistry &registry();
+
+/** The process-global default registry. */
+MetricsRegistry &globalRegistry();
 
 /** Process-wide interner used by the StatSet compatibility shim. */
 Interner &statNames();

@@ -48,6 +48,33 @@ globalSeqStarts(const Trace &trace, std::size_t global_h,
     return max_epochs;
 }
 
+/**
+ * The fromHeartbeats boundary table: block (l,t) spans the non-heartbeat
+ * events between marker l-1 and marker l. Shared by EpochStream's
+ * heartbeat mode so the streamed structure matches
+ * EpochLayout::fromHeartbeats by construction.
+ */
+std::size_t
+heartbeatStarts(const Trace &trace,
+                std::vector<std::vector<std::size_t>> &starts)
+{
+    starts.assign(trace.threads.size(), {});
+    std::size_t max_epochs = 0;
+    for (std::size_t t = 0; t < trace.threads.size(); ++t) {
+        starts[t].push_back(0);
+        std::size_t i = 0;
+        for (const Event &e : trace.threads[t].events) {
+            if (e.kind == EventKind::Heartbeat)
+                starts[t].push_back(i);
+            else
+                ++i;
+        }
+        starts[t].push_back(i);
+        max_epochs = std::max(max_epochs, starts[t].size() - 1);
+    }
+    return max_epochs;
+}
+
 } // namespace
 
 EpochLayout::EpochLayout(const Trace &trace, std::size_t num_epochs,
@@ -212,7 +239,9 @@ EpochStream::EpochStream(const Trace &trace, Config config)
     ensure(config.windowEpochs >= 4,
            "EpochStream window must hold at least 4 epochs (body, both "
            "wings, and the epoch being admitted)");
-    numEpochs_ = globalSeqStarts(trace, config.globalH, starts_);
+    numEpochs_ = config.fromHeartbeats
+                     ? heartbeatStarts(trace, starts_)
+                     : globalSeqStarts(trace, config.globalH, starts_);
 
     // Pad every thread's boundary table to the same epoch count, exactly
     // as the EpochLayout constructor does.

@@ -158,13 +158,23 @@ class EpochStream
   public:
     struct Config
     {
-        /** Events per epoch across all threads (byGlobalSeq's H). */
+        /** Events per epoch across all threads (byGlobalSeq's H).
+         *  Ignored when fromHeartbeats is set. */
         std::size_t globalH = 0;
         /** Ring capacity in epochs; >= 4 (the butterfly needs the body
          *  epoch, both wings, and the epoch being admitted). */
         std::size_t windowEpochs = 4;
         /** Optional occupancy model for admission back-pressure. */
         LogBuffer *backPressure = nullptr;
+        /**
+         * Cut at embedded Heartbeat markers instead of gseq buckets —
+         * the same boundaries as EpochLayout::fromHeartbeats. This is
+         * the only mode available to the monitoring service: logs that
+         * crossed the wire carry no gseq (the codec drops execution
+         * metadata), so the epoch structure must come from the markers
+         * the logging platform embedded.
+         */
+        bool fromHeartbeats = false;
     };
 
     EpochStream(const Trace &trace, Config config);

@@ -104,51 +104,161 @@ LogEncoder::encode(const Event &e)
     ++count_;
 }
 
-std::uint64_t
-LogDecoder::getVarint()
+const char *
+decodeStatusName(DecodeStatus status)
 {
-    std::uint64_t v = 0;
+    switch (status) {
+      case DecodeStatus::Ok:
+        return "ok";
+      case DecodeStatus::NeedMore:
+        return "need-more";
+      case DecodeStatus::Corrupt:
+        return "corrupt";
+    }
+    return "?";
+}
+
+DecodeStatus
+LogDecoder::getVarint(std::uint64_t &v)
+{
+    v = 0;
     unsigned shift = 0;
     for (;;) {
-        ensure(pos_ < bytes_.size(), "truncated varint in event log");
+        if (pos_ >= bytes_.size())
+            return DecodeStatus::NeedMore;
         const std::uint8_t b = bytes_[pos_++];
         v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
         if (!(b & 0x80))
-            return v;
+            return DecodeStatus::Ok;
         shift += 7;
-        ensure(shift < 64, "overlong varint in event log");
+        if (shift >= 64)
+            return DecodeStatus::Corrupt; // overlong varint
     }
 }
 
-Addr
-LogDecoder::getSignedDelta()
+DecodeStatus
+LogDecoder::getSignedDelta(Addr &out)
 {
-    const std::int64_t delta = unzigzag(getVarint());
-    lastAddr_ = static_cast<Addr>(
-        static_cast<std::int64_t>(lastAddr_) + delta);
-    return lastAddr_;
+    std::uint64_t raw = 0;
+    const DecodeStatus status = getVarint(raw);
+    if (status != DecodeStatus::Ok)
+        return status;
+    lastAddr_ = static_cast<Addr>(static_cast<std::int64_t>(lastAddr_) +
+                                  unzigzag(raw));
+    out = lastAddr_;
+    return DecodeStatus::Ok;
+}
+
+DecodeStatus
+LogDecoder::tryDecode(Event &out)
+{
+    const std::size_t saved_pos = pos_;
+    const Addr saved_addr = lastAddr_;
+    auto fail = [&](DecodeStatus status) {
+        pos_ = saved_pos;
+        lastAddr_ = saved_addr;
+        return status;
+    };
+
+    if (done())
+        return DecodeStatus::NeedMore;
+    const std::uint8_t opcode = bytes_[pos_++];
+    Event e;
+    e.kind = static_cast<EventKind>(opcode & kKindMask);
+    if ((opcode & kKindMask) >
+        static_cast<std::uint8_t>(EventKind::Nop))
+        return fail(DecodeStatus::Corrupt); // hole in the kind space
+    e.nsrc = static_cast<std::uint8_t>(opcode >> kNsrcShift) & 0x3;
+    if (e.nsrc > 2)
+        return fail(DecodeStatus::Corrupt); // encoder emits 0..2 only
+    e.size = defaultSize(e.kind);
+
+    if (!hasAddress(e.kind)) {
+        // Addressless opcodes carry no payload; the encoder never sets
+        // the size flag or a source count on them.
+        if ((opcode & kSizeFlag) || e.nsrc != 0)
+            return fail(DecodeStatus::Corrupt);
+        out = e;
+        return DecodeStatus::Ok;
+    }
+
+    DecodeStatus status = getSignedDelta(e.addr);
+    if (status != DecodeStatus::Ok)
+        return fail(status);
+    if (opcode & kSizeFlag) {
+        std::uint64_t size = 0;
+        status = getVarint(size);
+        if (status != DecodeStatus::Ok)
+            return fail(status);
+        if (size > 0xFFFF)
+            return fail(DecodeStatus::Corrupt); // size is 16-bit
+        e.size = static_cast<std::uint16_t>(size);
+    }
+    if (e.nsrc >= 1) {
+        status = getSignedDelta(e.src0);
+        if (status != DecodeStatus::Ok)
+            return fail(status);
+    }
+    if (e.nsrc >= 2) {
+        status = getSignedDelta(e.src1);
+        if (status != DecodeStatus::Ok)
+            return fail(status);
+    }
+    out = e;
+    return DecodeStatus::Ok;
 }
 
 Event
 LogDecoder::decode()
 {
     ensure(!done(), "decode past the end of the event log");
-    const std::uint8_t opcode = bytes_[pos_++];
     Event e;
-    e.kind = static_cast<EventKind>(opcode & kKindMask);
-    e.nsrc = static_cast<std::uint8_t>(opcode >> kNsrcShift) & 0x3;
-    e.size = defaultSize(e.kind);
-
-    if (hasAddress(e.kind)) {
-        e.addr = getSignedDelta();
-        if (opcode & kSizeFlag)
-            e.size = static_cast<std::uint16_t>(getVarint());
-        if (e.nsrc >= 1)
-            e.src0 = getSignedDelta();
-        if (e.nsrc >= 2)
-            e.src1 = getSignedDelta();
-    }
+    const DecodeStatus status = tryDecode(e);
+    ensure(status == DecodeStatus::Ok,
+           status == DecodeStatus::NeedMore
+               ? "truncated event in log"
+               : "corrupt event in log");
     return e;
+}
+
+// --------------------------------------------------------- ChunkedLogDecoder
+
+void
+ChunkedLogDecoder::feed(std::span<const std::uint8_t> bytes)
+{
+    // Drop the decoded prefix before growing; keeps the buffer sized to
+    // one partial event plus the newest chunk.
+    if (consumed_ > 0) {
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() +
+                          static_cast<std::ptrdiff_t>(consumed_));
+        consumed_ = 0;
+    }
+    buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+DecodeStatus
+ChunkedLogDecoder::next(Event &out)
+{
+    if (corrupt_)
+        return DecodeStatus::Corrupt;
+    LogDecoder dec(std::span<const std::uint8_t>(buffer_.data() + consumed_,
+                                                 buffer_.size() - consumed_));
+    dec.restore(lastAddr_);
+    const DecodeStatus status = dec.tryDecode(out);
+    switch (status) {
+      case DecodeStatus::Ok:
+        consumed_ += dec.pos();
+        lastAddr_ = dec.lastAddr();
+        ++eventsDecoded_;
+        break;
+      case DecodeStatus::Corrupt:
+        corrupt_ = true;
+        break;
+      case DecodeStatus::NeedMore:
+        break;
+    }
+    return status;
 }
 
 std::vector<std::uint8_t>

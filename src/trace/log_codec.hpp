@@ -62,6 +62,16 @@ class LogEncoder
     std::size_t count_ = 0;
 };
 
+/** Outcome of one incremental decode attempt. */
+enum class DecodeStatus : std::uint8_t {
+    Ok,       ///< one event decoded
+    NeedMore, ///< the buffer ends mid-event; feed more bytes and retry
+    Corrupt,  ///< structurally invalid input (bad kind, overlong varint,
+              ///< flag on an addressless opcode, oversized field)
+};
+
+const char *decodeStatusName(DecodeStatus status);
+
 /** Decodes a byte log produced by LogEncoder. */
 class LogDecoder
 {
@@ -76,16 +86,66 @@ class LogDecoder
     /**
      * Decode the next event.
      * @pre !done()
+     * Trusted-input convenience: aborts via fatal() on malformed bytes.
+     * Untrusted input (wire frames, files) must use tryDecode instead.
      */
     Event decode();
 
+    /**
+     * Attempt to decode the next event without asserting. On Ok, @p out
+     * holds the event and the cursor advances past it. On NeedMore or
+     * Corrupt the decoder state (cursor and delta base) is unchanged, so
+     * a NeedMore caller can retry after appending bytes to a fresh span
+     * that extends this one (see ChunkedLogDecoder).
+     */
+    DecodeStatus tryDecode(Event &out);
+
+    /** Bytes consumed so far. */
+    std::size_t pos() const { return pos_; }
+
+    /** Delta base for the next address field (stream state). */
+    Addr lastAddr() const { return lastAddr_; }
+
+    /** Restore stream state carried across spans (see ChunkedLogDecoder). */
+    void restore(Addr last_addr) { lastAddr_ = last_addr; }
+
   private:
-    std::uint64_t getVarint();
-    Addr getSignedDelta();
+    DecodeStatus getVarint(std::uint64_t &v);
+    DecodeStatus getSignedDelta(Addr &out);
 
     std::span<const std::uint8_t> bytes_;
     std::size_t pos_ = 0;
     Addr lastAddr_ = 0;
+};
+
+/**
+ * Incremental decoder over a stream delivered in arbitrary chunks (wire
+ * frames may split an event mid-varint). feed() appends bytes; next()
+ * yields events until the buffered tail is a partial event (NeedMore) or
+ * the stream is structurally invalid (Corrupt — sticky: a corrupt stream
+ * never recovers, matching the wire protocol's drop-session policy).
+ */
+class ChunkedLogDecoder
+{
+  public:
+    /** Append a chunk of encoded bytes to the pending buffer. */
+    void feed(std::span<const std::uint8_t> bytes);
+
+    /** Decode the next complete event out of the buffered bytes. */
+    DecodeStatus next(Event &out);
+
+    /** Events decoded so far (the per-thread instruction cursor). */
+    std::size_t eventsDecoded() const { return eventsDecoded_; }
+
+    /** Bytes buffered but not yet consumed by complete events. */
+    std::size_t pendingBytes() const { return buffer_.size() - consumed_; }
+
+  private:
+    std::vector<std::uint8_t> buffer_;
+    std::size_t consumed_ = 0;      ///< prefix already decoded
+    Addr lastAddr_ = 0;             ///< delta base across chunks
+    std::size_t eventsDecoded_ = 0;
+    bool corrupt_ = false;
 };
 
 /** Encode a whole thread trace; convenience for tests and tools. */

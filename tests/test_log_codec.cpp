@@ -216,6 +216,130 @@ TEST(LogCodec, FuzzedTracesSurviveDiskRoundTrip)
     std::remove(path.c_str());
 }
 
+TEST(LogCodec, EveryTruncatedPrefixReportsNeedMoreNotCorrupt)
+{
+    // A prefix of a valid log is by construction never *structurally*
+    // invalid — it just ends mid-event. tryDecode must report NeedMore
+    // (never Corrupt, never assert) for every possible cut point, and
+    // the events before the cut must decode exactly.
+    fuzz::FuzzerConfig cfg;
+    cfg.seed = 424242;
+    fuzz::TraceFuzzer fuzzer(cfg);
+    const fuzz::FuzzCase c = fuzzer.next();
+    ASSERT_FALSE(c.programs.empty());
+    const std::vector<Event> &program = c.programs[0];
+    const std::vector<std::uint8_t> bytes = encodeEvents(program);
+
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        LogDecoder dec({bytes.data(), cut});
+        std::size_t decoded = 0;
+        for (;;) {
+            Event e;
+            const DecodeStatus status = dec.tryDecode(e);
+            if (status == DecodeStatus::Ok) {
+                ASSERT_LT(decoded, program.size());
+                ASSERT_TRUE(sameForLifeguards(program[decoded], e))
+                    << "cut " << cut << " event " << decoded;
+                ++decoded;
+                continue;
+            }
+            ASSERT_EQ(status, DecodeStatus::NeedMore)
+                << "prefix of length " << cut
+                << " misreported as Corrupt";
+            break;
+        }
+        ASSERT_LE(decoded, program.size());
+    }
+}
+
+TEST(LogCodec, ChunkedDecoderByteByByteMatchesBulkDecode)
+{
+    // Feeding one byte at a time is the worst possible chunking (every
+    // event splits mid-field); the chunked decoder must still produce
+    // the exact bulk-decode event sequence with no Corrupt verdicts.
+    fuzz::FuzzerConfig cfg;
+    cfg.seed = 99;
+    fuzz::TraceFuzzer fuzzer(cfg);
+    const fuzz::FuzzCase c = fuzzer.next();
+    ASSERT_FALSE(c.programs.empty());
+    const std::vector<Event> &program = c.programs[0];
+    const std::vector<std::uint8_t> bytes = encodeEvents(program);
+
+    ChunkedLogDecoder chunked;
+    std::vector<Event> got;
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        chunked.feed({bytes.data() + i, 1});
+        for (;;) {
+            Event e;
+            const DecodeStatus status = chunked.next(e);
+            if (status != DecodeStatus::Ok) {
+                ASSERT_EQ(status, DecodeStatus::NeedMore);
+                break;
+            }
+            got.push_back(e);
+        }
+    }
+    ASSERT_EQ(got.size(), program.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+        ASSERT_TRUE(sameForLifeguards(program[i], got[i]));
+    EXPECT_EQ(chunked.pendingBytes(), 0u);
+    EXPECT_EQ(chunked.eventsDecoded(), program.size());
+}
+
+TEST(LogCodec, BitFlippedLogsNeverAssert)
+{
+    // Flip every bit of a real encoded log, one at a time, and decode
+    // the result to exhaustion with the untrusted-input API. Any mix of
+    // Ok / NeedMore / Corrupt is acceptable; crashing or asserting is
+    // not — this is exactly what a hostile wire client can feed us.
+    const std::vector<Event> program = {
+        Event::read(0x1000, 8),      Event::write(0x1008, 4),
+        Event::alloc(0x2000, 128),   Event::taintSrc(0x3000, 16),
+        Event::assign2(0x2000, 0x1000, 0x3000),
+        Event::heartbeat(),          Event::freeOf(0x2000, 128),
+        Event::use(0x2000),          Event::barrier(),
+        Event::read(0xfffff000, 2),
+    };
+    const std::vector<std::uint8_t> base = encodeEvents(program);
+
+    for (std::size_t byte = 0; byte < base.size(); ++byte) {
+        for (unsigned bit = 0; bit < 8; ++bit) {
+            std::vector<std::uint8_t> mutated = base;
+            mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+
+            LogDecoder dec(mutated);
+            std::size_t decoded = 0;
+            for (;;) {
+                Event e;
+                const DecodeStatus status = dec.tryDecode(e);
+                if (status == DecodeStatus::Ok) {
+                    // Guard against infinite loops on zero-length events.
+                    ASSERT_LE(++decoded, mutated.size());
+                    continue;
+                }
+                break; // NeedMore or Corrupt both end the stream
+            }
+
+            // The chunked decoder must agree and hold Corrupt sticky.
+            ChunkedLogDecoder chunked;
+            chunked.feed(mutated);
+            DecodeStatus last = DecodeStatus::Ok;
+            for (;;) {
+                Event e;
+                last = chunked.next(e);
+                if (last != DecodeStatus::Ok)
+                    break;
+            }
+            if (last == DecodeStatus::Corrupt) {
+                Event e;
+                chunked.feed(base); // more bytes cannot un-corrupt it
+                EXPECT_EQ(chunked.next(e), DecodeStatus::Corrupt)
+                    << "byte " << byte << " bit " << bit;
+            }
+        }
+    }
+}
+
 TEST(LogCodec, LoadRejectsGarbage)
 {
     const std::string path = ::testing::TempDir() + "bfly_garbage.log";

@@ -1,0 +1,700 @@
+/**
+ * @file
+ * Tests for the monitoring service: wire protocol round-trips and
+ * hostile-input handling, session-mux admission control (queue-full and
+ * global-budget shedding, hard-cap rejection), loopback conformance of
+ * remote reports against in-process reference runs, back-pressure
+ * end-to-end, per-session telemetry isolation, and the slow-client
+ * partial-report path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "fuzz/trace_fuzzer.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "service/session_mux.hpp"
+#include "service/wire.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+#include "trace/log_codec.hpp"
+
+namespace bfly::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ------------------------------------------------------------------ helpers
+
+/** Synthetic heartbeat-marked trace: @p threads threads x @p epochs
+ *  epochs of @p per_epoch events each, touching a private heap window.
+ *  Odd reads target never-allocated addresses, so ADDRCHECK produces a
+ *  record roughly every other event. */
+Trace
+makeMarkedTrace(unsigned threads, unsigned epochs, unsigned per_epoch,
+                Addr heap_base)
+{
+    Trace trace;
+    trace.threads.resize(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        trace.threads[t].tid = t;
+        std::vector<Event> &events = trace.threads[t].events;
+        const Addr base = heap_base + t * 0x1000;
+        events.push_back(Event::alloc(base, 256));
+        for (unsigned l = 0; l < epochs; ++l) {
+            if (l > 0)
+                events.push_back(Event::heartbeat());
+            for (unsigned i = 0; i < per_epoch; ++i) {
+                const Addr addr = base + 8 * (i % 32);
+                if (i % 2 == 0)
+                    events.push_back(Event::write(addr, 8));
+                else // never allocated: one record per read
+                    events.push_back(Event::read(addr + 0x800, 8));
+            }
+        }
+    }
+    return trace;
+}
+
+SessionSpec
+addrcheckSpec(const Trace &trace, Addr heap_base)
+{
+    SessionSpec spec;
+    spec.lifeguard = static_cast<std::uint8_t>(Lifeguard::AddrCheck);
+    spec.numThreads = static_cast<std::uint32_t>(trace.numThreads());
+    spec.granularity = 8;
+    spec.heapBase = heap_base;
+    spec.heapLimit = heap_base + 0x100000;
+    return spec;
+}
+
+/** Reference run over the same heartbeat blocks the service will see. */
+RemoteReport
+referenceFor(const SessionSpec &spec, const Trace &marked)
+{
+    return analyzeReference(spec, marked,
+                            EpochLayout::fromHeartbeats(marked));
+}
+
+/** Per-thread encoded logs split into (tid, bytes) chunk items. */
+std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>>
+chunkItems(const Trace &marked, std::size_t chunk_bytes)
+{
+    std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>> items;
+    for (std::uint32_t t = 0; t < marked.numThreads(); ++t) {
+        const auto bytes = encodeEvents(marked.threads[t].events);
+        for (std::size_t off = 0; off < bytes.size();
+             off += chunk_bytes) {
+            const std::size_t n =
+                std::min(chunk_bytes, bytes.size() - off);
+            items.emplace_back(
+                t, std::vector<std::uint8_t>(bytes.begin() + off,
+                                             bytes.begin() + off + n));
+        }
+    }
+    return items;
+}
+
+struct MuxRun
+{
+    bool completed = false;
+    SessionResult result;
+    std::uint64_t busyCount = 0;
+    std::vector<BusyReason> busyReasons;
+};
+
+/** Drive one session through a bare SessionMux with a go-back-N retry
+ *  loop, then wait for its completion to be published. */
+MuxRun
+runThroughMux(SessionMux &mux, const SessionSpec &spec,
+              const Trace &marked, std::size_t chunk_bytes)
+{
+    MuxRun run;
+    const auto items = chunkItems(marked, chunk_bytes);
+    const std::uint64_t id = mux.open(spec);
+
+    std::uint64_t i = 0;
+    while (i <= items.size()) {
+        BusyInfo busy;
+        RejectInfo reject;
+        const Admission verdict =
+            i == items.size()
+                ? mux.submitTraceEnd(id, i, busy, reject)
+                : mux.submitChunk(id, {i, items[i].first},
+                                  items[i].second, busy, reject);
+        switch (verdict) {
+          case Admission::Accepted:
+          case Admission::Ignored:
+            ++i;
+            break;
+          case Admission::Busy:
+            ++run.busyCount;
+            run.busyReasons.push_back(busy.reason);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(busy.retryMs));
+            i = busy.seq;
+            break;
+          case Admission::Rejected:
+            run.completed = true;
+            run.result.failed = true;
+            run.result.reject = reject;
+            return run;
+        }
+    }
+
+    const auto deadline = std::chrono::steady_clock::now() + 30s;
+    while (std::chrono::steady_clock::now() < deadline) {
+        for (SessionResult &result : mux.drainCompleted()) {
+            if (result.sessionId == id) {
+                run.completed = true;
+                run.result = std::move(result);
+                return run;
+            }
+        }
+        std::this_thread::sleep_for(1ms);
+    }
+    return run;
+}
+
+std::string
+tempSocketPath(const char *tag)
+{
+    return ::testing::TempDir() + "bfly_" + tag + "_" +
+           std::to_string(::getpid()) + ".sock";
+}
+
+// ----------------------------------------------------------------- wire
+
+TEST(Wire, PayloadsRoundTrip)
+{
+    SessionSpec spec;
+    spec.lifeguard = 2;
+    spec.memModel = 1;
+    spec.numThreads = 7;
+    spec.granularity = 4;
+    spec.heapBase = 0x10000;
+    spec.heapLimit = 0x90000;
+    spec.globalH = 96;
+    spec.windowEpochs = 6;
+    SessionSpec spec2;
+    ASSERT_EQ(decodeSessionOpen(encodeSessionOpen(spec), spec2),
+              DecodeStatus::Ok);
+    EXPECT_EQ(spec2.lifeguard, spec.lifeguard);
+    EXPECT_EQ(spec2.memModel, spec.memModel);
+    EXPECT_EQ(spec2.numThreads, spec.numThreads);
+    EXPECT_EQ(spec2.granularity, spec.granularity);
+    EXPECT_EQ(spec2.heapBase, spec.heapBase);
+    EXPECT_EQ(spec2.heapLimit, spec.heapLimit);
+    EXPECT_EQ(spec2.globalH, spec.globalH);
+    EXPECT_EQ(spec2.windowEpochs, spec.windowEpochs);
+
+    const std::vector<std::uint8_t> log = {1, 2, 3, 4, 5};
+    ChunkHeader header{42, 3}, header2;
+    std::span<const std::uint8_t> view;
+    const auto chunk = encodeChunk(header, log);
+    ASSERT_EQ(decodeChunk(chunk, header2, view), DecodeStatus::Ok);
+    EXPECT_EQ(header2.seq, header.seq);
+    EXPECT_EQ(header2.tid, header.tid);
+    ASSERT_EQ(view.size(), log.size());
+    EXPECT_TRUE(std::equal(view.begin(), view.end(), log.begin()));
+
+    BusyInfo busy{BusyReason::GlobalBudget, 17, 8}, busy2;
+    ASSERT_EQ(decodeBusy(encodeBusy(busy), busy2), DecodeStatus::Ok);
+    EXPECT_EQ(busy2.reason, busy.reason);
+    EXPECT_EQ(busy2.seq, busy.seq);
+    EXPECT_EQ(busy2.retryMs, busy.retryMs);
+
+    RejectInfo reject{RejectCode::CorruptLog, "bad bytes"}, reject2;
+    ASSERT_EQ(decodeReject(encodeReject(reject), reject2),
+              DecodeStatus::Ok);
+    EXPECT_EQ(reject2.code, reject.code);
+    EXPECT_EQ(reject2.message, reject.message);
+
+    const std::vector<ErrorRecord> records = {
+        {0, 12, 0x1000, ErrorKind::UnallocatedAccess, 8},
+        {3, 99, 0xdeadbeef, ErrorKind::UninitializedRead, 4},
+    };
+    std::vector<ErrorRecord> records2;
+    ASSERT_EQ(decodeErrorReport(encodeErrorReport(records), records2),
+              DecodeStatus::Ok);
+    ASSERT_EQ(records2.size(), records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(records2[i].tid, records[i].tid);
+        EXPECT_EQ(records2[i].index, records[i].index);
+        EXPECT_EQ(records2[i].addr, records[i].addr);
+        EXPECT_EQ(records2[i].size, records[i].size);
+        EXPECT_EQ(records2[i].kind, records[i].kind);
+    }
+
+    const std::vector<Addr> sos = {0x1000, 0x2000, 0xffffffffffull};
+    std::vector<Addr> sos2;
+    ASSERT_EQ(decodeSos(encodeSos(sos), sos2), DecodeStatus::Ok);
+    EXPECT_EQ(sos2, sos);
+
+    SummaryInfo summary;
+    summary.status = SummaryStatus::Partial;
+    summary.epochs = 11;
+    summary.events = 12345;
+    summary.recordsTotal = 678;
+    summary.sosTotal = 9;
+    summary.busyCount = 3;
+    summary.peakResidentEpochs = 4;
+    summary.fingerprint = 0xabcdef0123456789ull;
+    SummaryInfo summary2;
+    ASSERT_EQ(decodeSummary(encodeSummary(summary), summary2),
+              DecodeStatus::Ok);
+    EXPECT_EQ(summary2.status, summary.status);
+    EXPECT_EQ(summary2.epochs, summary.epochs);
+    EXPECT_EQ(summary2.events, summary.events);
+    EXPECT_EQ(summary2.recordsTotal, summary.recordsTotal);
+    EXPECT_EQ(summary2.sosTotal, summary.sosTotal);
+    EXPECT_EQ(summary2.busyCount, summary.busyCount);
+    EXPECT_EQ(summary2.peakResidentEpochs, summary.peakResidentEpochs);
+    EXPECT_EQ(summary2.fingerprint, summary.fingerprint);
+
+    std::uint64_t seq = 0;
+    ASSERT_EQ(decodeTraceEnd(encodeTraceEnd(31337), seq),
+              DecodeStatus::Ok);
+    EXPECT_EQ(seq, 31337u);
+}
+
+TEST(Wire, FrameParserReassemblesByteByByte)
+{
+    std::vector<std::uint8_t> stream;
+    appendFrame(stream, FrameType::SessionOpen,
+                encodeSessionOpen(SessionSpec{}));
+    appendFrame(stream, FrameType::Heartbeat, {});
+    appendFrame(stream, FrameType::TraceEnd, encodeTraceEnd(5));
+
+    FrameParser parser;
+    std::vector<Frame> frames;
+    for (std::uint8_t byte : stream) {
+        parser.feed({&byte, 1});
+        Frame frame;
+        while (parser.next(frame) == DecodeStatus::Ok)
+            frames.push_back(frame);
+    }
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0].type, FrameType::SessionOpen);
+    EXPECT_EQ(frames[1].type, FrameType::Heartbeat);
+    EXPECT_TRUE(frames[1].payload.empty());
+    EXPECT_EQ(frames[2].type, FrameType::TraceEnd);
+    EXPECT_EQ(parser.pendingBytes(), 0u);
+}
+
+TEST(Wire, FrameParserRejectsHostileHeaders)
+{
+    { // unknown frame type: sticky Corrupt
+        FrameParser parser;
+        const std::uint8_t bad[] = {0xFF, 1, 0, 0, 0, 7};
+        parser.feed(bad);
+        Frame frame;
+        EXPECT_EQ(parser.next(frame), DecodeStatus::Corrupt);
+        std::vector<std::uint8_t> good;
+        appendFrame(good, FrameType::Heartbeat, {});
+        parser.feed(good);
+        EXPECT_EQ(parser.next(frame), DecodeStatus::Corrupt);
+    }
+    { // oversized length: Corrupt before any allocation of that size
+        FrameParser parser;
+        std::uint8_t bad[5];
+        bad[0] = static_cast<std::uint8_t>(FrameType::LogChunk);
+        const std::uint32_t huge = 0x7fffffff;
+        std::memcpy(bad + 1, &huge, 4);
+        parser.feed(bad);
+        Frame frame;
+        EXPECT_EQ(parser.next(frame), DecodeStatus::Corrupt);
+    }
+}
+
+TEST(Wire, DecodersRejectTruncationAndTrailingGarbage)
+{
+    const auto payload = encodeSessionOpen(SessionSpec{});
+    SessionSpec out;
+    for (std::size_t cut = 0; cut < payload.size(); ++cut)
+        EXPECT_NE(decodeSessionOpen({payload.data(), cut}, out),
+                  DecodeStatus::Ok)
+            << "truncated at " << cut;
+    auto padded = payload;
+    padded.push_back(0);
+    EXPECT_EQ(decodeSessionOpen(padded, out), DecodeStatus::Corrupt);
+
+    auto versioned = payload;
+    versioned[0] = kWireVersion + 1; // version is the first byte
+    EXPECT_EQ(decodeSessionOpen(versioned, out), DecodeStatus::Corrupt);
+}
+
+// ------------------------------------------------------------------- mux
+
+TEST(SessionMuxTest, ShedsWhenSessionQueueIsFull)
+{
+    WorkerPool pool(2);
+    MuxConfig config;
+    config.sessionQueueBytes = 64;
+    config.debugPumpDelayMs = 5; // slow consumer: shedding is guaranteed
+    config.busyRetryMs = 1;
+    SessionMux mux(pool, config, [] {});
+
+    const Addr heap = 0x100000;
+    const Trace marked = makeMarkedTrace(2, 6, 40, heap);
+    const SessionSpec spec = addrcheckSpec(marked, heap);
+    const RemoteReport reference = referenceFor(spec, marked);
+
+    const MuxRun run = runThroughMux(mux, spec, marked, 48);
+    ASSERT_TRUE(run.completed);
+    ASSERT_FALSE(run.result.failed) << run.result.reject.message;
+    EXPECT_GE(run.busyCount, 1u) << "queue never filled: test is vacuous";
+    for (BusyReason reason : run.busyReasons)
+        EXPECT_EQ(reason, BusyReason::SessionQueueFull);
+    EXPECT_TRUE(run.result.report.identical(reference))
+        << "shedding changed the analysis result";
+    EXPECT_EQ(mux.globalBytes(), 0u) << "budget leaked";
+    EXPECT_EQ(mux.activeSessions(), 0u);
+}
+
+TEST(SessionMuxTest, GlobalBudgetShedsOnlyWhenOthersHoldBytes)
+{
+    WorkerPool pool(2);
+    MuxConfig config;
+    config.sessionQueueBytes = 1 << 20;
+    config.globalBudgetBytes = 4096;
+    config.debugPumpDelayMs = 200; // park tenant A's bytes in the queue
+    SessionMux mux(pool, config, [] {});
+
+    const std::vector<std::uint8_t> big(3500, 0x00); // Nop opcodes
+    const std::vector<std::uint8_t> small(1000, 0x00);
+
+    SessionSpec spec;
+    spec.lifeguard = static_cast<std::uint8_t>(Lifeguard::AddrCheck);
+    spec.numThreads = 1;
+    const std::uint64_t a = mux.open(spec);
+    const std::uint64_t b = mux.open(spec);
+
+    BusyInfo busy;
+    RejectInfo reject;
+    ASSERT_EQ(mux.submitChunk(a, {0, 0}, big, busy, reject),
+              Admission::Accepted);
+
+    // Tenant B is squeezed by A's queued bytes: transient Busy.
+    ASSERT_EQ(mux.submitChunk(b, {0, 0}, small, busy, reject),
+              Admission::Busy);
+    EXPECT_EQ(busy.reason, BusyReason::GlobalBudget);
+    EXPECT_EQ(busy.seq, 0u);
+
+    // Tenant A alone would exceed the budget: permanent reject.
+    ASSERT_EQ(mux.submitChunk(a, {1, 0}, small, busy, reject),
+              Admission::Rejected);
+    EXPECT_EQ(reject.code, RejectCode::TooLarge);
+
+    mux.abort(b);
+    // A failed, B aborted: the budget must drain to zero once the pump
+    // notices (A's queued bytes were already released by the reject).
+    const auto deadline = std::chrono::steady_clock::now() + 10s;
+    while (mux.globalBytes() > 0 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(1ms);
+    EXPECT_EQ(mux.globalBytes(), 0u);
+}
+
+TEST(SessionMuxTest, RejectsChunkBeyondSessionCap)
+{
+    WorkerPool pool(1);
+    MuxConfig config;
+    config.maxSessionBytes = 256;
+    SessionMux mux(pool, config, [] {});
+
+    SessionSpec spec;
+    spec.numThreads = 1;
+    const std::uint64_t id = mux.open(spec);
+    const std::vector<std::uint8_t> oversized(300, 0x00);
+    BusyInfo busy;
+    RejectInfo reject;
+    ASSERT_EQ(mux.submitChunk(id, {0, 0}, oversized, busy, reject),
+              Admission::Rejected);
+    EXPECT_EQ(reject.code, RejectCode::TooLarge);
+    EXPECT_EQ(mux.activeSessions(), 0u);
+    EXPECT_EQ(mux.globalBytes(), 0u);
+}
+
+TEST(SessionMuxTest, RejectsOutOfRangeTidAndIgnoresOutOfSequence)
+{
+    WorkerPool pool(1);
+    SessionMux mux(pool, MuxConfig{}, [] {});
+    SessionSpec spec;
+    spec.numThreads = 2;
+    const std::uint64_t id = mux.open(spec);
+    const std::vector<std::uint8_t> bytes(8, 0x00);
+    BusyInfo busy;
+    RejectInfo reject;
+    EXPECT_EQ(mux.submitChunk(id, {5, 0}, bytes, busy, reject),
+              Admission::Ignored); // seq 5 != expected 0
+    EXPECT_EQ(mux.submitChunk(id, {0, 7}, bytes, busy, reject),
+              Admission::Rejected); // tid 7 >= numThreads 2
+    EXPECT_EQ(reject.code, RejectCode::Protocol);
+}
+
+// ---------------------------------------------------------------- loopback
+
+TEST(MonitorService, LoopbackConformanceAcrossLifeguards)
+{
+    ServerConfig scfg;
+    scfg.unixPath = tempSocketPath("conf");
+    scfg.workers = 4;
+    MonitorServer server(scfg);
+    ASSERT_TRUE(server.start());
+
+    fuzz::FuzzerConfig fcfg;
+    fcfg.seed = 20260805;
+    fuzz::TraceFuzzer fuzzer(fcfg);
+    for (int i = 0; i < 24; ++i) {
+        const fuzz::FuzzCase fuzz_case = fuzzer.next();
+        const Trace trace = fuzz_case.materialize();
+        const EpochLayout layout =
+            EpochLayout::byGlobalSeq(trace, fuzz_case.globalH);
+
+        SessionSpec spec;
+        spec.lifeguard = static_cast<std::uint8_t>(i % 4);
+        spec.memModel = fuzz_case.model == MemModel::TSO ? 1 : 0;
+        spec.numThreads =
+            static_cast<std::uint32_t>(trace.numThreads());
+        spec.granularity = spec.lifeguard == 1 ? 4 : 8;
+        spec.heapBase = fuzz_case.heapBase;
+        spec.heapLimit = fuzz_case.heapLimit;
+
+        const RemoteReport local = analyzeReference(spec, trace, layout);
+        const Trace marked = withHeartbeatMarkers(trace, layout);
+
+        MonitorClient client;
+        ASSERT_TRUE(client.connectUnix(scfg.unixPath));
+        const RunResult remote = client.run(spec, marked);
+        ASSERT_TRUE(remote.ok)
+            << "case " << fuzz_case.caseId << ": " << remote.error;
+        EXPECT_TRUE(remote.report.identical(local))
+            << "case " << fuzz_case.caseId << " ("
+            << fuzz_case.scenario << ", lifeguard "
+            << unsigned(spec.lifeguard) << ") diverged";
+    }
+    server.stop();
+    EXPECT_EQ(server.sessionsFailed(), 0u);
+    EXPECT_EQ(server.sessionsCompleted(), 24u);
+}
+
+TEST(MonitorService, ConcurrentSessionsConform)
+{
+    ServerConfig scfg;
+    scfg.unixPath = tempSocketPath("conc");
+    scfg.workers = 4;
+    MonitorServer server(scfg);
+    ASSERT_TRUE(server.start());
+
+    constexpr int kThreads = 8;
+    constexpr int kTracesPerThread = 3;
+    std::atomic<int> mismatches{0};
+    std::atomic<int> failures{0};
+
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kThreads; ++w) {
+        threads.emplace_back([&, w] {
+            fuzz::FuzzerConfig fcfg;
+            fcfg.seed = 7000 + w;
+            fuzz::TraceFuzzer fuzzer(fcfg);
+            for (int i = 0; i < kTracesPerThread; ++i) {
+                const fuzz::FuzzCase fuzz_case = fuzzer.next();
+                const Trace trace = fuzz_case.materialize();
+                const EpochLayout layout =
+                    EpochLayout::byGlobalSeq(trace, fuzz_case.globalH);
+                SessionSpec spec;
+                spec.lifeguard =
+                    static_cast<std::uint8_t>((w + i) % 4);
+                spec.memModel =
+                    fuzz_case.model == MemModel::TSO ? 1 : 0;
+                spec.numThreads =
+                    static_cast<std::uint32_t>(trace.numThreads());
+                spec.granularity = spec.lifeguard == 1 ? 4 : 8;
+                spec.heapBase = fuzz_case.heapBase;
+                spec.heapLimit = fuzz_case.heapLimit;
+                const RemoteReport local =
+                    analyzeReference(spec, trace, layout);
+                const Trace marked =
+                    withHeartbeatMarkers(trace, layout);
+                MonitorClient client;
+                if (!client.connectUnix(scfg.unixPath)) {
+                    failures.fetch_add(1);
+                    continue;
+                }
+                const RunResult remote = client.run(spec, marked);
+                if (!remote.ok)
+                    failures.fetch_add(1);
+                else if (!remote.report.identical(local))
+                    mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    server.stop();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_EQ(server.sessionsCompleted(),
+              static_cast<std::uint64_t>(kThreads * kTracesPerThread));
+}
+
+TEST(MonitorService, ShedsUnderBackPressureAndStillConforms)
+{
+    // Satellite: EpochStream back-pressure under service load. A slow
+    // pump plus a tiny ingest queue forces Busy sheds; the client's
+    // go-back-N rewind must deliver a byte-identical report anyway.
+    ServerConfig scfg;
+    scfg.unixPath = tempSocketPath("bp");
+    scfg.workers = 2;
+    scfg.mux.sessionQueueBytes = 512;
+    scfg.mux.debugPumpDelayMs = 2;
+    scfg.mux.busyRetryMs = 1;
+    MonitorServer server(scfg);
+    ASSERT_TRUE(server.start());
+
+    const Addr heap = 0x200000;
+    const Trace marked = makeMarkedTrace(2, 8, 60, heap);
+    const SessionSpec spec = addrcheckSpec(marked, heap);
+    const RemoteReport reference = referenceFor(spec, marked);
+
+    ClientConfig ccfg;
+    ccfg.chunkBytes = 256; // many small chunks overrun the 512B queue
+    MonitorClient client(ccfg);
+    ASSERT_TRUE(client.connectUnix(scfg.unixPath));
+    const RunResult remote = client.run(spec, marked);
+    ASSERT_TRUE(remote.ok) << remote.error;
+    EXPECT_GE(remote.busyRetries, 1u)
+        << "server never shed: back-pressure untested";
+    EXPECT_EQ(remote.summary.busyCount, remote.busyRetries);
+    EXPECT_TRUE(remote.report.identical(reference))
+        << "go-back-N replay diverged from the reference";
+    server.stop();
+    EXPECT_GE(server.busySent(), 1u);
+    EXPECT_EQ(server.globalBytes(), 0u) << "budget leaked";
+}
+
+TEST(MonitorService, SessionTelemetryIsIsolatedPerSession)
+{
+    telemetry::setEnabled(true);
+    ServerConfig scfg;
+    scfg.unixPath = tempSocketPath("tel");
+    scfg.workers = 2;
+    MonitorServer server(scfg);
+    ASSERT_TRUE(server.start());
+
+    const Addr heap = 0x300000;
+    const Trace big = makeMarkedTrace(2, 8, 50, heap);
+    const Trace small = makeMarkedTrace(1, 2, 10, heap);
+
+    auto runOne = [&](const Trace &marked) {
+        const SessionSpec spec = addrcheckSpec(marked, heap);
+        MonitorClient client;
+        ASSERT_TRUE(client.connectUnix(scfg.unixPath));
+        const RunResult remote = client.run(spec, marked);
+        ASSERT_TRUE(remote.ok) << remote.error;
+    };
+    auto totalEvents = [](const Trace &marked) {
+        std::uint64_t n = 0;
+        for (const ThreadTrace &t : marked.threads)
+            n += t.events.size();
+        return n;
+    };
+
+    runOne(big);
+    runOne(small);
+    // The last completed session's registry holds *only* that session's
+    // counts — a shared registry would show big+small accumulated.
+    const telemetry::RegistrySnapshot snapshot =
+        server.lastSessionMetrics();
+    EXPECT_EQ(snapshot.value("bfly.service.session.events"),
+              totalEvents(small));
+    EXPECT_LT(snapshot.value("bfly.service.session.events"),
+              totalEvents(big));
+    EXPECT_GT(snapshot.value("bfly.service.session.chunks"), 0u);
+    server.stop();
+}
+
+TEST(MonitorService, SlowClientGetsTruncatedReportWithPartialStatus)
+{
+    ServerConfig scfg;
+    scfg.unixPath = tempSocketPath("partial");
+    scfg.workers = 2;
+    scfg.maxOutboundBytes = 4096; // one big ErrorReport cannot fit
+    MonitorServer server(scfg);
+    ASSERT_TRUE(server.start());
+
+    // ~1500 records encode to well over the outbound cap.
+    const Addr heap = 0x400000;
+    const Trace marked = makeMarkedTrace(1, 6, 500, heap);
+    const SessionSpec spec = addrcheckSpec(marked, heap);
+    const RemoteReport reference = referenceFor(spec, marked);
+    ASSERT_GT(reference.records.size(), 1000u);
+
+    MonitorClient client;
+    ASSERT_TRUE(client.connectUnix(scfg.unixPath));
+    const RunResult remote = client.run(spec, marked);
+    ASSERT_TRUE(remote.ok) << remote.error;
+    EXPECT_EQ(remote.summary.status, SummaryStatus::Partial);
+    EXPECT_EQ(remote.summary.recordsTotal, reference.records.size())
+        << "Summary must report the true total even when truncated";
+    EXPECT_LT(remote.report.records.size(), reference.records.size());
+    EXPECT_EQ(remote.summary.fingerprint, reference.fingerprint)
+        << "the fingerprint still witnesses the full report";
+    server.stop();
+    EXPECT_EQ(server.partialReports(), 1u);
+}
+
+TEST(MonitorService, GarbageBytesAreRejectedWithProtocolError)
+{
+    ServerConfig scfg;
+    scfg.unixPath = tempSocketPath("garbage");
+    scfg.workers = 1;
+    MonitorServer server(scfg);
+    ASSERT_TRUE(server.start());
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, scfg.unixPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    const std::uint8_t garbage[] = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x01};
+    ASSERT_EQ(::send(fd, garbage, sizeof(garbage), 0),
+              static_cast<ssize_t>(sizeof(garbage)));
+
+    FrameParser parser;
+    Frame frame;
+    DecodeStatus status = DecodeStatus::NeedMore;
+    std::uint8_t buf[4096];
+    for (int spins = 0; spins < 1000 && status != DecodeStatus::Ok;
+         ++spins) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        parser.feed({buf, static_cast<std::size_t>(n)});
+        status = parser.next(frame);
+    }
+    ::close(fd);
+    ASSERT_EQ(status, DecodeStatus::Ok);
+    EXPECT_EQ(frame.type, FrameType::Reject);
+    RejectInfo reject;
+    ASSERT_EQ(decodeReject(frame.payload, reject), DecodeStatus::Ok);
+    EXPECT_EQ(reject.code, RejectCode::Protocol);
+    server.stop();
+}
+
+} // namespace
+} // namespace bfly::service
