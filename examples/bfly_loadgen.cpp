@@ -4,14 +4,25 @@
  *
  *   bfly_loadgen [--unix PATH | --tcp PORT] --sessions N --traces M
  *                [--seed S] [--chunk-bytes B] [--json FILE] [--quiet]
+ *                [--chaos --budget-sec T]
  *
  * Replays TraceFuzzer cases across N concurrent client connections,
- * cycling all four lifeguards. Every remote report is checked
+ * cycling all six lifeguards. Every remote report is checked
  * bit-for-bit (error records, SOS addresses, dataflow fingerprint)
  * against an in-process reference run of the same trace; any divergence
  * is a conformance failure. When no endpoint is given, an in-process
  * MonitorServer is spun up on a private Unix socket, so the tool is
  * self-contained for CI smoke runs.
+ *
+ * --chaos turns the run into a time-budgeted soak: workers keep issuing
+ * sessions until --budget-sec expires, and each iteration randomly
+ * picks a well-behaved conformance run, a conformance run whose trace
+ * carries clock-skewed heartbeat markers (extra/duplicate markers in one
+ * thread; the local reference is computed over the *same* skewed trace,
+ * so bit-identity must still hold), a mid-stream client kill (raw
+ * socket, SessionOpen + a dangling LogChunk, then an abrupt close with
+ * no TraceEnd), or connect/disconnect churn. The server must shed the
+ * abusive sessions without perturbing any concurrent conformance run.
  *
  * Emits a JSON throughput/latency summary (stdout and optionally
  * --json FILE); session latency is also recorded into the telemetry
@@ -29,11 +40,16 @@
 #include <iostream>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include "fuzz/trace_fuzzer.hpp"
@@ -59,6 +75,8 @@ struct Options
     std::size_t chunkBytes = 32 * 1024;
     std::string jsonPath;
     bool quiet = false;
+    bool chaos = false;
+    std::uint64_t budgetSec = 30;
 };
 
 struct Tally
@@ -70,22 +88,31 @@ struct Tally
     std::atomic<std::uint64_t> events{0};
     std::atomic<std::uint64_t> records{0};
     std::atomic<std::uint64_t> partials{0};
+    // chaos-only counters
+    std::atomic<std::uint64_t> kills{0};
+    std::atomic<std::uint64_t> churns{0};
+    std::atomic<std::uint64_t> skews{0};
 };
 
 void
-usage()
+usage(std::ostream &out)
 {
-    std::cerr
-        << "usage: bfly_loadgen [options]\n"
+    out << "usage: bfly_loadgen [options]\n"
         << "  --unix PATH      connect to a Unix-domain socket\n"
         << "  --tcp PORT       connect to loopback TCP\n"
         << "                   (neither: in-process server is started)\n"
         << "  --sessions N     concurrent client connections (default 4)\n"
         << "  --traces M       total fuzzer traces to replay (default 50)\n"
-        << "  --seed S         fuzzer seed (default 1)\n"
+        << "  --seed S|from-run-id  fuzzer seed (from-run-id derives\n"
+        << "                   it from $GITHUB_RUN_ID, else the clock)\n"
         << "  --chunk-bytes B  log bytes per LogChunk (default 32768)\n"
         << "  --json FILE      also write the JSON summary to FILE\n"
-        << "  --quiet          only print the JSON summary\n";
+        << "  --quiet          only print the JSON summary\n"
+        << "  --chaos          soak mode: mix conformance runs with\n"
+        << "                   client kills, connect churn and skewed\n"
+        << "                   heartbeats until the budget expires\n"
+        << "  --budget-sec T   chaos wall-clock budget (default 30)\n"
+        << "  --help           print this help and exit 0\n";
 }
 
 SessionSpec
@@ -93,13 +120,12 @@ specFor(const fuzz::FuzzCase &fuzz_case, const Trace &trace,
         std::uint64_t trace_index)
 {
     SessionSpec spec;
-    spec.lifeguard = static_cast<std::uint8_t>(trace_index % 4);
+    spec.lifeguard = static_cast<std::uint8_t>(trace_index % 6);
     spec.memModel = fuzz_case.model == MemModel::TSO ? 1 : 0;
     spec.numThreads = static_cast<std::uint32_t>(trace.numThreads());
+    const Lifeguard lg = static_cast<Lifeguard>(spec.lifeguard);
     spec.granularity =
-        static_cast<Lifeguard>(spec.lifeguard) == Lifeguard::TaintCheck
-            ? 4
-            : 8;
+        (lg == Lifeguard::TaintCheck || lg == Lifeguard::AddrLeak) ? 4 : 8;
     spec.heapBase = fuzz_case.heapBase;
     spec.heapLimit = fuzz_case.heapLimit;
     spec.globalH = fuzz_case.globalH;
@@ -125,9 +151,223 @@ histPercentile(const telemetry::HistogramSnapshot &h, double q)
     return h.max;
 }
 
+/**
+ * Clock-skew @p marked in place: one randomly chosen thread gains 1-3
+ * extra Heartbeat markers at random positions (possibly adjacent to an
+ * existing marker, i.e. a duplicate, which yields an empty block). The
+ * slicing stays well defined — markers are positional — it just shifts
+ * that thread's tail blocks into later epochs relative to its peers.
+ */
+void
+skewHeartbeats(Trace &marked, std::mt19937_64 &rng)
+{
+    if (marked.numThreads() == 0)
+        return;
+    auto &events = marked.threads[rng() % marked.numThreads()].events;
+    const std::size_t extra = 1 + rng() % 3;
+    for (std::size_t k = 0; k < extra; ++k) {
+        const std::size_t pos = events.empty() ? 0 : rng() % events.size();
+        events.insert(events.begin() + static_cast<std::ptrdiff_t>(pos),
+                      Event::heartbeat());
+    }
+}
+
+/**
+ * One full conformance iteration: generate case @p index, run it
+ * remotely, compare bit-for-bit against the local reference. With
+ * @p skew, the heartbeat-marked trace is clock-skewed first and the
+ * reference recomputed over the skewed trace's own marker slicing.
+ */
+void
+runConformanceCase(const Options &opt, fuzz::TraceFuzzer &fuzzer,
+                   std::uint64_t index, bool skew, std::mt19937_64 &rng,
+                   Tally &tally, std::mutex &log_mutex,
+                   telemetry::MetricsRegistry &reg,
+                   telemetry::MetricId latency)
+{
+    const fuzz::FuzzCase fuzz_case =
+        fuzzer.generate(opt.seed * 1000003 + index);
+    const Trace trace = fuzz_case.materialize();
+    const EpochLayout layout =
+        EpochLayout::byGlobalSeq(trace, fuzz_case.globalH);
+    const SessionSpec spec = specFor(fuzz_case, trace, index);
+
+    Trace marked = withHeartbeatMarkers(trace, layout);
+    RemoteReport local;
+    if (skew) {
+        skewHeartbeats(marked, rng);
+        tally.skews.fetch_add(1);
+        // The skewed markers *are* the epoch structure now; the
+        // reference must follow the same slicing the server will see.
+        local = analyzeReference(spec, marked,
+                                 EpochLayout::fromHeartbeats(marked));
+    } else {
+        local = analyzeReference(spec, trace, layout);
+    }
+
+    ClientConfig ccfg;
+    ccfg.chunkBytes = opt.chunkBytes;
+    MonitorClient client(ccfg);
+    const bool connected = opt.tcp ? client.connectTcp(opt.tcpPort)
+                                   : client.connectUnix(opt.unixPath);
+    if (!connected) {
+        tally.failures.fetch_add(1);
+        std::lock_guard<std::mutex> lock(log_mutex);
+        std::cerr << "loadgen: case " << index << ": connect failed\n";
+        return;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const RunResult remote = client.run(spec, marked);
+    const auto dt = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - t0);
+    reg.observe(latency, static_cast<std::uint64_t>(dt.count()));
+
+    tally.traces.fetch_add(1);
+    tally.busyRetries.fetch_add(remote.busyRetries);
+    tally.events.fetch_add(trace.instructionCount());
+    tally.records.fetch_add(local.records.size());
+
+    if (!remote.ok) {
+        tally.failures.fetch_add(1);
+        std::lock_guard<std::mutex> lock(log_mutex);
+        std::cerr << "loadgen: case " << index << " ("
+                  << fuzz_case.scenario << ", "
+                  << lifeguardName(static_cast<Lifeguard>(spec.lifeguard))
+                  << (skew ? ", skewed" : "")
+                  << "): session failed: " << remote.error << "\n";
+        return;
+    }
+    if (remote.summary.status == SummaryStatus::Partial)
+        tally.partials.fetch_add(1);
+    if (!remote.report.identical(local)) {
+        tally.mismatches.fetch_add(1);
+        std::lock_guard<std::mutex> lock(log_mutex);
+        std::cerr << "loadgen: case " << index << " ("
+                  << fuzz_case.scenario << ", "
+                  << lifeguardName(static_cast<Lifeguard>(spec.lifeguard))
+                  << (skew ? ", skewed" : "")
+                  << "): REPORT MISMATCH remote{records="
+                  << remote.report.records.size()
+                  << " sos=" << remote.report.sos.size()
+                  << " fp=" << remote.report.fingerprint
+                  << " epochs=" << remote.report.epochs
+                  << "} local{records=" << local.records.size()
+                  << " sos=" << local.sos.size()
+                  << " fp=" << local.fingerprint
+                  << " epochs=" << local.epochs << "}\n";
+    }
+}
+
+/** Raw client socket, bypassing MonitorClient, for misbehaving peers. */
+int
+rawConnect(const Options &opt)
+{
+    if (opt.tcp) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            return -1;
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(opt.tcpPort);
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof addr) != 0) {
+            ::close(fd);
+            return -1;
+        }
+        return fd;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, opt.unixPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) !=
+        0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+void
+sendRaw(int fd, const std::vector<std::uint8_t> &bytes, std::size_t limit)
+{
+    std::size_t off = 0;
+    const std::size_t n = std::min(bytes.size(), limit);
+    while (off < n) {
+        const ssize_t w = ::write(fd, bytes.data() + off, n - off);
+        if (w <= 0)
+            return; // server already dropped us; that is fine
+        off += static_cast<std::size_t>(w);
+    }
+}
+
+/**
+ * Mid-stream kill: open a session, stream a dangling LogChunk (and,
+ * half the time, a truncated frame header on top), then close the
+ * socket with no TraceEnd. The server must reap the session without
+ * disturbing concurrent well-behaved ones.
+ */
+void
+midStreamKill(const Options &opt, fuzz::TraceFuzzer &fuzzer,
+              std::uint64_t index, std::mt19937_64 &rng, Tally &tally)
+{
+    const int fd = rawConnect(opt);
+    if (fd < 0)
+        return; // connect-refused under churn is not a conformance event
+    const fuzz::FuzzCase fuzz_case =
+        fuzzer.generate(opt.seed * 1000003 + index);
+    const Trace trace = fuzz_case.materialize();
+    const SessionSpec spec = specFor(fuzz_case, trace, index);
+
+    sendRaw(fd, encodeFramed(FrameType::SessionOpen, encodeSessionOpen(spec)),
+            SIZE_MAX);
+
+    if (!trace.threads.empty()) {
+        const std::vector<std::uint8_t> log =
+            encodeEvents(trace.threads[0].events);
+        ChunkHeader header;
+        header.seq = 0;
+        header.tid = trace.threads[0].tid;
+        // A complete LogChunk frame whose log bytes stop mid-stream:
+        // the per-thread decoder is left waiting on NeedMore forever.
+        const std::vector<std::uint8_t> frame = encodeFramed(
+            FrameType::LogChunk,
+            encodeChunk(header, std::span<const std::uint8_t>(
+                                    log.data(), log.size() / 2)));
+        sendRaw(fd, frame, SIZE_MAX);
+    }
+    if (rng() % 2) {
+        // Torn frame: a few header bytes of a frame that never arrives.
+        const std::vector<std::uint8_t> torn =
+            encodeFramed(FrameType::TraceEnd, encodeTraceEnd(1));
+        sendRaw(fd, torn, 1 + rng() % 3);
+    }
+    ::close(fd);
+    tally.kills.fetch_add(1);
+}
+
+/** Connect/disconnect churn: no session, maybe one Heartbeat frame. */
+void
+connectChurn(const Options &opt, std::mt19937_64 &rng, Tally &tally)
+{
+    const int fd = rawConnect(opt);
+    if (fd < 0)
+        return;
+    if (rng() % 2)
+        sendRaw(fd, encodeFramed(FrameType::Heartbeat, {}), SIZE_MAX);
+    ::close(fd);
+    tally.churns.fetch_add(1);
+}
+
 void
 worker(const Options &opt, std::atomic<std::uint64_t> &next, Tally &tally,
-       std::mutex &log_mutex)
+       std::mutex &log_mutex,
+       std::chrono::steady_clock::time_point deadline)
 {
     fuzz::FuzzerConfig fcfg;
     fcfg.seed = opt.seed;
@@ -138,70 +378,37 @@ worker(const Options &opt, std::atomic<std::uint64_t> &next, Tally &tally,
 
     for (;;) {
         const std::uint64_t index = next.fetch_add(1);
-        if (index >= opt.traces)
+        if (opt.chaos) {
+            if (std::chrono::steady_clock::now() >= deadline)
+                return;
+        } else if (index >= opt.traces) {
             return;
+        }
 
-        const fuzz::FuzzCase fuzz_case =
-            fuzzer.generate(opt.seed * 1000003 + index);
-        const Trace trace = fuzz_case.materialize();
-        const EpochLayout layout =
-            EpochLayout::byGlobalSeq(trace, fuzz_case.globalH);
-        const SessionSpec spec = specFor(fuzz_case, trace, index);
-
-        const RemoteReport local = analyzeReference(spec, trace, layout);
-        const Trace marked = withHeartbeatMarkers(trace, layout);
-
-        ClientConfig ccfg;
-        ccfg.chunkBytes = opt.chunkBytes;
-        MonitorClient client(ccfg);
-        const bool connected = opt.tcp ? client.connectTcp(opt.tcpPort)
-                                       : client.connectUnix(opt.unixPath);
-        if (!connected) {
-            tally.failures.fetch_add(1);
-            std::lock_guard<std::mutex> lock(log_mutex);
-            std::cerr << "loadgen: case " << index << ": connect failed\n";
+        if (!opt.chaos) {
+            std::mt19937_64 rng(opt.seed ^ index);
+            runConformanceCase(opt, fuzzer, index, /*skew=*/false, rng,
+                               tally, log_mutex, reg, latency);
             continue;
         }
 
-        const auto t0 = std::chrono::steady_clock::now();
-        const RunResult remote = client.run(spec, marked);
-        const auto dt = std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - t0);
-        reg.observe(latency, static_cast<std::uint64_t>(dt.count()));
-
-        tally.traces.fetch_add(1);
-        tally.busyRetries.fetch_add(remote.busyRetries);
-        tally.events.fetch_add(trace.instructionCount());
-        tally.records.fetch_add(local.records.size());
-
-        if (!remote.ok) {
-            tally.failures.fetch_add(1);
-            std::lock_guard<std::mutex> lock(log_mutex);
-            std::cerr << "loadgen: case " << index << " ("
-                      << fuzz_case.scenario << ", "
-                      << lifeguardName(
-                             static_cast<Lifeguard>(spec.lifeguard))
-                      << "): session failed: " << remote.error << "\n";
-            continue;
-        }
-        if (remote.summary.status == SummaryStatus::Partial)
-            tally.partials.fetch_add(1);
-        if (!remote.report.identical(local)) {
-            tally.mismatches.fetch_add(1);
-            std::lock_guard<std::mutex> lock(log_mutex);
-            std::cerr << "loadgen: case " << index << " ("
-                      << fuzz_case.scenario << ", "
-                      << lifeguardName(
-                             static_cast<Lifeguard>(spec.lifeguard))
-                      << "): REPORT MISMATCH remote{records="
-                      << remote.report.records.size()
-                      << " sos=" << remote.report.sos.size()
-                      << " fp=" << remote.report.fingerprint
-                      << " epochs=" << remote.report.epochs
-                      << "} local{records=" << local.records.size()
-                      << " sos=" << local.sos.size()
-                      << " fp=" << local.fingerprint
-                      << " epochs=" << local.epochs << "}\n";
+        std::mt19937_64 rng(opt.seed * 0x9e3779b97f4a7c15ull + index);
+        switch (rng() % 8) {
+          case 0:
+            midStreamKill(opt, fuzzer, index, rng, tally);
+            break;
+          case 1:
+            connectChurn(opt, rng, tally);
+            break;
+          case 2:
+          case 3:
+            runConformanceCase(opt, fuzzer, index, /*skew=*/true, rng,
+                               tally, log_mutex, reg, latency);
+            break;
+          default:
+            runConformanceCase(opt, fuzzer, index, /*skew=*/false, rng,
+                               tally, log_mutex, reg, latency);
+            break;
         }
     }
 }
@@ -216,12 +423,17 @@ main(int argc, char **argv)
         const std::string arg = argv[i];
         auto value = [&]() -> const char * {
             if (i + 1 >= argc) {
-                usage();
+                std::cerr << "bfly_loadgen: " << arg
+                          << " requires a value\n";
+                usage(std::cerr);
                 std::exit(2);
             }
             return argv[++i];
         };
-        if (arg == "--unix")
+        if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else if (arg == "--unix")
             opt.unixPath = value();
         else if (arg == "--tcp") {
             opt.tcp = true;
@@ -230,21 +442,51 @@ main(int argc, char **argv)
             opt.sessions = std::strtoull(value(), nullptr, 10);
         else if (arg == "--traces")
             opt.traces = std::strtoull(value(), nullptr, 10);
-        else if (arg == "--seed")
-            opt.seed = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--seed") {
+            const char *v = value();
+            if (std::strcmp(v, "from-run-id") == 0) {
+                // Same convention as fuzz_cli: a fresh seed per CI run
+                // widens soak coverage over time; the JSON echoes the
+                // seed so any failure is reproducible.
+                if (const char *run = std::getenv("GITHUB_RUN_ID"))
+                    opt.seed = std::strtoull(run, nullptr, 10);
+                else
+                    opt.seed = static_cast<std::uint64_t>(
+                        std::chrono::system_clock::now()
+                            .time_since_epoch()
+                            .count());
+                if (opt.seed == 0)
+                    opt.seed = 1;
+            } else {
+                opt.seed = std::strtoull(v, nullptr, 10);
+            }
+        }
         else if (arg == "--chunk-bytes")
             opt.chunkBytes = std::strtoull(value(), nullptr, 10);
         else if (arg == "--json")
             opt.jsonPath = value();
         else if (arg == "--quiet")
             opt.quiet = true;
+        else if (arg == "--chaos")
+            opt.chaos = true;
+        else if (arg == "--budget-sec")
+            opt.budgetSec = std::strtoull(value(), nullptr, 10);
         else {
-            usage();
+            std::cerr << "bfly_loadgen: unknown option '" << arg << "'\n";
+            usage(std::cerr);
             return 2;
         }
     }
-    if (opt.sessions == 0 || opt.traces == 0) {
-        usage();
+    if (opt.sessions == 0) {
+        std::cerr << "bfly_loadgen: --sessions must be > 0\n";
+        return 2;
+    }
+    if (opt.traces == 0) {
+        std::cerr << "bfly_loadgen: --traces must be > 0\n";
+        return 2;
+    }
+    if (opt.chaos && opt.budgetSec == 0) {
+        std::cerr << "bfly_loadgen: --budget-sec must be > 0\n";
         return 2;
     }
 
@@ -272,11 +514,12 @@ main(int argc, char **argv)
     std::mutex logMutex;
 
     const auto wall0 = std::chrono::steady_clock::now();
+    const auto deadline = wall0 + std::chrono::seconds(opt.budgetSec);
     std::vector<std::thread> threads;
     threads.reserve(opt.sessions);
     for (std::size_t i = 0; i < opt.sessions; ++i)
         threads.emplace_back(
-            [&] { worker(opt, next, tally, logMutex); });
+            [&] { worker(opt, next, tally, logMutex, deadline); });
     for (std::thread &t : threads)
         t.join();
     const double wallMs =
@@ -293,6 +536,7 @@ main(int argc, char **argv)
 
     std::ostringstream json;
     json << "{\"sessions\": " << opt.sessions
+         << ", \"seed\": " << opt.seed
          << ", \"traces\": " << tally.traces.load()
          << ", \"mismatches\": " << tally.mismatches.load()
          << ", \"failures\": " << tally.failures.load()
@@ -300,6 +544,10 @@ main(int argc, char **argv)
          << ", \"busy_retries\": " << tally.busyRetries.load()
          << ", \"events\": " << tally.events.load()
          << ", \"records\": " << tally.records.load()
+         << ", \"chaos\": " << (opt.chaos ? "true" : "false")
+         << ", \"kills\": " << tally.kills.load()
+         << ", \"churns\": " << tally.churns.load()
+         << ", \"skews\": " << tally.skews.load()
          << ", \"wall_ms\": " << wallMs << ", \"traces_per_sec\": "
          << (wallMs > 0 ? 1000.0 * tally.traces.load() / wallMs : 0.0)
          << ", \"events_per_sec\": "
@@ -322,6 +570,15 @@ main(int argc, char **argv)
         std::cerr << "loadgen: " << (clean ? "PASS" : "FAIL") << " ("
                   << tally.traces.load() << " traces, "
                   << tally.mismatches.load() << " mismatches, "
-                  << tally.failures.load() << " failures)\n";
+                  << tally.failures.load() << " failures"
+                  << (opt.chaos
+                          ? ", " + std::to_string(tally.kills.load()) +
+                                " kills, " +
+                                std::to_string(tally.churns.load()) +
+                                " churns, " +
+                                std::to_string(tally.skews.load()) +
+                                " skews"
+                          : "")
+                  << ")\n";
     return clean ? 0 : 1;
 }

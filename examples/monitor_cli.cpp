@@ -11,6 +11,13 @@
  * timing model, and prints a session report. `--workload list` prints
  * the available workloads.
  *
+ * `--lifeguard lockset|addrleak` switches to the race / address-leak
+ * lifeguards instead: fuzzer-generated traces (--instr cases, --seed)
+ * are monitored by the butterfly checker and replayed through the exact
+ * sequential oracle, and the aggregate accuracy (flags, true/false
+ * positives, false negatives) is printed. Exit is nonzero on any false
+ * negative — the butterfly guarantee is "no error missed".
+ *
  * `--telemetry` writes the metrics-registry snapshot as nested JSON;
  * `--trace` writes a Chrome trace-event file of the session (load it in
  * chrome://tracing or https://ui.perfetto.dev — pid 0 is wall-clock,
@@ -28,7 +35,11 @@
 #include <cstring>
 #include <string>
 
+#include "butterfly/window.hpp"
+#include "fuzz/trace_fuzzer.hpp"
 #include "harness/session.hpp"
+#include "lifeguards/addrleak.hpp"
+#include "lifeguards/lockset.hpp"
 #include "telemetry/exporter.hpp"
 
 namespace {
@@ -40,10 +51,84 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--workload NAME] [--threads N] [--epoch H]\n"
         "          [--instr N] [--model sc|tso] [--seed S] [--verbose]\n"
+        "          [--lifeguard addrcheck|lockset|addrleak]\n"
         "          [--telemetry OUT.json] [--trace OUT.trace.json]\n"
         "       %s --workload list\n",
         argv0, argv0);
     std::exit(2);
+}
+
+/**
+ * Fuzzer-driven accuracy session for the LOCKSET / ADDRLEAK lifeguards:
+ * monitor @p cases generated traces with the butterfly checker, replay
+ * each through the exact sequential oracle, and aggregate
+ * compareToOracle. The butterfly run may over-report (bounded FPs) but
+ * must never miss an oracle error.
+ */
+int
+runFuzzedLifeguard(const std::string &lifeguard, std::size_t cases,
+                   std::uint64_t seed)
+{
+    using namespace bfly;
+
+    fuzz::FuzzerConfig fcfg;
+    fcfg.seed = seed;
+    fuzz::TraceFuzzer fuzzer(fcfg);
+
+    std::size_t events = 0, oracle_errors = 0, flags = 0;
+    std::size_t tp = 0, fp = 0, fn = 0;
+    for (std::size_t i = 0; i < cases; ++i) {
+        const fuzz::FuzzCase c = fuzzer.generate(seed * 1000003 + i);
+        const Trace trace = c.materialize();
+        const EpochLayout layout =
+            EpochLayout::byGlobalSeq(trace, c.globalH);
+        events += trace.instructionCount();
+
+        AccuracyReport acc;
+        std::size_t oracle_n = 0, flagged_n = 0;
+        if (lifeguard == "lockset") {
+            LockSetConfig cfg;
+            cfg.heapBase = c.heapBase;
+            cfg.heapLimit = c.heapLimit;
+            ButterflyLockSet driver(layout.numThreads(), cfg);
+            WindowSchedule(false).run(layout, driver);
+            LockSetOracle oracle(cfg);
+            oracle.runOnTrace(trace);
+            acc = compareToOracle(driver.errors(), oracle.errors(),
+                                  cfg.granularity);
+            oracle_n = oracle.errors().records().size();
+            flagged_n = driver.errors().records().size();
+        } else {
+            AddrLeakConfig cfg;
+            cfg.heapBase = c.heapBase;
+            cfg.heapLimit = c.heapLimit;
+            ButterflyAddrLeak driver(layout.numThreads(), cfg);
+            WindowSchedule(false).run(layout, driver);
+            AddrLeakOracle oracle(cfg);
+            oracle.runOnTrace(trace);
+            acc = compareToOracle(driver.errors(), oracle.errors(),
+                                  cfg.granularity);
+            oracle_n = oracle.errors().records().size();
+            flagged_n = driver.errors().records().size();
+        }
+
+        oracle_errors += oracle_n;
+        flags += flagged_n;
+        tp += acc.truePositives;
+        fp += acc.falsePositives;
+        fn += acc.falseNegatives;
+    }
+
+    std::printf("monitoring %zu fuzzed traces with butterfly %s\n", cases,
+                lifeguard == "lockset" ? "LOCKSET" : "ADDRLEAK");
+    std::printf("\n-- accuracy (butterfly vs sequential oracle) ------\n");
+    std::printf("events            %zu\n", events);
+    std::printf("oracle errors     %zu\n", oracle_errors);
+    std::printf("butterfly flags   %zu\n", flags);
+    std::printf("true positives    %zu\n", tp);
+    std::printf("false positives   %zu\n", fp);
+    std::printf("false negatives   %zu  (provably zero)\n", fn);
+    return fn == 0 ? 0 : 1;
 }
 
 } // namespace
@@ -60,6 +145,7 @@ main(int argc, char **argv)
     MemModel model = MemModel::SequentiallyConsistent;
     std::uint64_t seed = 42;
     bool verbose = false;
+    std::string lifeguard = "addrcheck";
     std::string telemetry_out;
     std::string trace_out;
 
@@ -88,6 +174,11 @@ main(int argc, char **argv)
                 model = MemModel::TSO;
             else
                 usage(argv[0]);
+        } else if (arg == "--lifeguard") {
+            lifeguard = next();
+            if (lifeguard != "addrcheck" && lifeguard != "lockset" &&
+                lifeguard != "addrleak")
+                usage(argv[0]);
         } else if (arg == "--telemetry") {
             telemetry_out = next();
         } else if (arg == "--trace") {
@@ -97,6 +188,14 @@ main(int argc, char **argv)
         } else {
             usage(argv[0]);
         }
+    }
+
+    if (lifeguard != "addrcheck") {
+        // Fuzzer-driven accuracy session; --instr caps the case count
+        // (its workload meaning, instructions/thread, does not apply).
+        const std::size_t cases =
+            instr == 200000 ? 20 : std::max<std::size_t>(instr, 1);
+        return runFuzzedLifeguard(lifeguard, cases, seed);
     }
 
     if (workload == "list") {

@@ -10,7 +10,9 @@
 #include "common/worker_pool.hpp"
 #include "lifeguards/addrcheck.hpp"
 #include "lifeguards/addrcheck_oracle.hpp"
+#include "lifeguards/addrleak.hpp"
 #include "lifeguards/defcheck.hpp"
+#include "lifeguards/lockset.hpp"
 #include "lifeguards/taintcheck.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace_span.hpp"
@@ -20,8 +22,9 @@ namespace bfly::fuzz {
 
 namespace {
 
-const char *const kLifeguardNames[] = {"ADDRCHECK", "TAINTCHECK",
-                                       "DEFINEDCHECK", "REACHING-DEFS"};
+const char *const kLifeguardNames[] = {"ADDRCHECK",     "TAINTCHECK",
+                                       "DEFINEDCHECK",  "REACHING-DEFS",
+                                       "LOCKSET",       "ADDRLEAK"};
 const char *const kModeNames[] = {"sequential", "parallel",
                                   "pipelined-layout", "pipelined-stream"};
 const char *const kInvariantNames[] = {"mode-equivalence",
@@ -159,6 +162,8 @@ struct CaseContext
     AddrCheckConfig addrCfg;
     TaintCheckConfig taintCfg;
     DefCheckConfig defCfg;
+    LockSetConfig lockCfg;
+    AddrLeakConfig leakCfg;
     TaintTermination termination;
 };
 
@@ -218,6 +223,19 @@ runLifeguard(const CaseContext &ctx, Lifeguard lg, RunMode mode)
         report.records = canonicalRecords(driver.errors());
         break;
       }
+      case Lifeguard::LockSet: {
+        ButterflyLockSet driver(ctx.layout, ctx.lockCfg);
+        drive(ctx, mode, driver);
+        report.records = canonicalRecords(driver.errors());
+        break;
+      }
+      case Lifeguard::AddrLeak: {
+        ButterflyAddrLeak driver(ctx.layout, ctx.leakCfg);
+        drive(ctx, mode, driver);
+        report.records = canonicalRecords(driver.errors());
+        report.sos = driver.sosNow().sorted();
+        break;
+      }
       case Lifeguard::ReachingDefs: {
         ReachingDefinitions driver(ctx.layout.numThreads());
         drive(ctx, mode, driver);
@@ -257,6 +275,51 @@ addrFalsePositivesAt(const CaseContext &ctx, std::size_t global_h,
     return compareToOracle(butterfly.errors(), oracle_log,
                            ctx.addrCfg.granularity)
         .falsePositives;
+}
+
+/** ADDRLEAK false positives at epoch size @p global_h (sequential). */
+std::size_t
+leakFalsePositivesAt(const CaseContext &ctx, std::size_t global_h,
+                     const ErrorLog &oracle_log)
+{
+    const EpochLayout layout =
+        EpochLayout::byGlobalSeq(ctx.trace, global_h);
+    ButterflyAddrLeak butterfly(layout, ctx.leakCfg);
+    WindowSchedule(false).run(layout, butterfly);
+    return compareToOracle(butterfly.errors(), oracle_log,
+                           ctx.leakCfg.granularity)
+        .falsePositives;
+}
+
+/**
+ * LOCKSET false positives at epoch size @p global_h, counted per flagged
+ * *variable* rather than per flagged event: the race is a property of
+ * the variable, and shrinking epochs may move the report to a different
+ * (earlier) access of the same variable while the set of reported
+ * variables provably only shrinks.
+ */
+std::size_t
+lockKeyFalsePositivesAt(const CaseContext &ctx, std::size_t global_h,
+                        const ErrorLog &oracle_log)
+{
+    const EpochLayout layout =
+        EpochLayout::byGlobalSeq(ctx.trace, global_h);
+    ButterflyLockSet butterfly(layout, ctx.lockCfg);
+    WindowSchedule(false).run(layout, butterfly);
+
+    std::size_t fp = 0;
+    for (const ErrorRecord &rec : butterfly.errors().records()) {
+        bool real = false;
+        for (const ErrorRecord &o : oracle_log.records()) {
+            if (o.addr == rec.addr) {
+                real = true;
+                break;
+            }
+        }
+        if (!real)
+            ++fp;
+    }
+    return fp;
 }
 
 } // namespace
@@ -310,11 +373,16 @@ DifferentialRunner::run(const FuzzCase &c) const
 
     CaseContext ctx{c,  trace, layout,
                     {}, {},    {},
+                    {}, {},
                     TaintTermination::SequentialConsistency};
     ctx.addrCfg.heapBase = c.heapBase;
     ctx.addrCfg.heapLimit = c.heapLimit;
     ctx.defCfg.heapBase = c.heapBase;
     ctx.defCfg.heapLimit = c.heapLimit;
+    ctx.lockCfg.heapBase = c.heapBase;
+    ctx.lockCfg.heapLimit = c.heapLimit;
+    ctx.leakCfg.heapBase = c.heapBase;
+    ctx.leakCfg.heapLimit = c.heapLimit;
     if (c.model == MemModel::TSO)
         ctx.termination = TaintTermination::Relaxed;
 
@@ -347,6 +415,8 @@ DifferentialRunner::run(const FuzzCase &c) const
             .records.size();
 
     ErrorLog addrOracleLog;
+    ErrorLog lockOracleLog;
+    ErrorLog leakOracleLog;
     if (config_.checkOracleSubsumption || config_.checkFpMonotonicity) {
         telemetry::TraceSpan s("fuzz.oracles");
         AddrCheckOracle addrOracle(ctx.addrCfg);
@@ -356,9 +426,17 @@ DifferentialRunner::run(const FuzzCase &c) const
         taintOracle.runOnTrace(trace);
         DefCheckOracle defOracle(ctx.defCfg);
         defOracle.runOnTrace(trace);
+        LockSetOracle lockOracle(ctx.lockCfg);
+        lockOracle.runOnTrace(trace);
+        lockOracleLog = lockOracle.errors();
+        AddrLeakOracle leakOracle(ctx.leakCfg);
+        leakOracle.runOnTrace(trace);
+        leakOracleLog = leakOracle.errors();
         outcome.oracleErrors = addrOracleLog.size() +
                                taintOracle.errors().size() +
-                               defOracle.errors().size();
+                               defOracle.errors().size() +
+                               lockOracleLog.size() +
+                               leakOracleLog.size();
 
         const struct
         {
@@ -372,6 +450,10 @@ DifferentialRunner::run(const FuzzCase &c) const
              ctx.taintCfg.granularity},
             {Lifeguard::DefCheck, defOracle.errors(),
              ctx.defCfg.granularity},
+            {Lifeguard::LockSet, lockOracleLog,
+             ctx.lockCfg.granularity},
+            {Lifeguard::AddrLeak, leakOracleLog,
+             ctx.leakCfg.granularity},
         };
         for (const auto &p : pairs) {
             const auto li = static_cast<std::size_t>(p.lg);
@@ -394,18 +476,32 @@ DifferentialRunner::run(const FuzzCase &c) const
 
     if (config_.checkFpMonotonicity && config_.monotonicityFactor > 1) {
         telemetry::TraceSpan s("fuzz.monotonicity");
-        const std::size_t fp_small =
-            addrFalsePositivesAt(ctx, c.globalH, addrOracleLog);
-        const std::size_t fp_large = addrFalsePositivesAt(
-            ctx, c.globalH * config_.monotonicityFactor, addrOracleLog);
-        if (fp_small > fp_large) {
-            std::ostringstream os;
-            os << "FP(H=" << c.globalH << ")=" << fp_small << " > FP(H="
-               << c.globalH * config_.monotonicityFactor
-               << ")=" << fp_large;
-            outcome.violations.push_back({Invariant::FpMonotonicity,
-                                          Lifeguard::AddrCheck,
-                                          RunMode::Sequential, os.str()});
+        const std::size_t large_h = c.globalH * config_.monotonicityFactor;
+        const struct
+        {
+            Lifeguard lg;
+            std::size_t fpSmall;
+            std::size_t fpLarge;
+        } mono[] = {
+            {Lifeguard::AddrCheck,
+             addrFalsePositivesAt(ctx, c.globalH, addrOracleLog),
+             addrFalsePositivesAt(ctx, large_h, addrOracleLog)},
+            {Lifeguard::LockSet,
+             lockKeyFalsePositivesAt(ctx, c.globalH, lockOracleLog),
+             lockKeyFalsePositivesAt(ctx, large_h, lockOracleLog)},
+            {Lifeguard::AddrLeak,
+             leakFalsePositivesAt(ctx, c.globalH, leakOracleLog),
+             leakFalsePositivesAt(ctx, large_h, leakOracleLog)},
+        };
+        for (const auto &m : mono) {
+            if (m.fpSmall > m.fpLarge) {
+                std::ostringstream os;
+                os << "FP(H=" << c.globalH << ")=" << m.fpSmall
+                   << " > FP(H=" << large_h << ")=" << m.fpLarge;
+                outcome.violations.push_back({Invariant::FpMonotonicity,
+                                              m.lg, RunMode::Sequential,
+                                              os.str()});
+            }
         }
     }
 

@@ -15,13 +15,16 @@
  *
  *  - oracle subsumption (Theorems 6.1/6.2): the butterfly lifeguard
  *    never misses an error the exact sequential oracle flags — zero
- *    false negatives for ADDRCHECK, TAINTCHECK and DEFINEDCHECK under
- *    the replayed true interleaving;
+ *    false negatives for ADDRCHECK, TAINTCHECK, DEFINEDCHECK, LOCKSET
+ *    and ADDRLEAK under the replayed true interleaving;
  *
  *  - epoch-size monotonicity (Fig. 12/13 direction): shrinking epochs
- *    can only shrink ADDRCHECK's false-positive count. Checked between
- *    the case's H and factor*H (the factor keeps boundaries nested, so
- *    the small-epoch concurrency relation is a subset of the large one).
+ *    can only shrink the false-positive count. Checked between the
+ *    case's H and factor*H (the factor keeps boundaries nested, so the
+ *    small-epoch concurrency relation is a subset of the large one) for
+ *    ADDRCHECK and ADDRLEAK per flagged event, and for LOCKSET per
+ *    flagged variable (attribution may legitimately move between epoch
+ *    sizes, the set of racy variables may only shrink).
  *
  * Mutation testing: a FaultPlan deliberately corrupts one lifeguard's
  * report (dropping records of one kind in a subset of modes) before the
@@ -43,16 +46,18 @@
 
 namespace bfly::fuzz {
 
-/** The monitored analyses (the repo's four lifeguards). */
+/** The monitored analyses (the repo's six lifeguards). */
 enum class Lifeguard : std::uint8_t {
     AddrCheck,
     TaintCheck,
     DefCheck,
     ReachingDefs, ///< generic analysis: no errors, dataflow sets only
+    LockSet,      ///< Eraser-style data races
+    AddrLeak,     ///< heap-pointer values reaching output sinks
 };
 inline constexpr Lifeguard kAllLifeguards[] = {
     Lifeguard::AddrCheck, Lifeguard::TaintCheck, Lifeguard::DefCheck,
-    Lifeguard::ReachingDefs};
+    Lifeguard::ReachingDefs, Lifeguard::LockSet, Lifeguard::AddrLeak};
 const char *lifeguardName(Lifeguard lg);
 
 /** Scheduling modes: {sequential, parallel, pipelined} × {full-trace,

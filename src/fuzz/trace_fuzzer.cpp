@@ -202,6 +202,126 @@ degenerateEpochs(FuzzCase &c, Rng &rng, unsigned threads,
     c.model = MemModel::SequentiallyConsistent; // drift must stay < H
 }
 
+/** Lock identities live outside the heap window so data-address-keyed
+ *  lifeguards never confuse a lock with a monitored cell. */
+constexpr Addr kLockBase = 0x20000;
+
+Addr
+lockAddr(std::size_t j)
+{
+    return kLockBase + static_cast<Addr>(j) * 8;
+}
+
+/**
+ * Lock-churn: threads hammer a small pool of shared slots under a small
+ * pool of locks. Most critical sections use the slot's designated lock
+ * (race-free), but threads sometimes grab the *wrong* lock, skip locking
+ * entirely, or release early and keep touching the slot — so LOCKSET's
+ * candidate intersections drain at different rates per slot, and lock
+ * acquisitions constantly straddle epoch boundaries. A prelude of allocs
+ * keeps ADDRCHECK's view of the same traces mostly quiet.
+ */
+void
+lockChurn(FuzzCase &c, Rng &rng, unsigned threads, std::size_t per)
+{
+    const std::size_t pool = 3 + rng.below(8);
+    const std::size_t nlocks = 2 + rng.below(6);
+    c.programs.assign(threads, {});
+    for (unsigned t = 0; t < threads; ++t) {
+        auto &p = c.programs[t];
+        if (t == 0) {
+            for (std::size_t s = 0; s < pool; ++s)
+                p.push_back(Event::alloc(slotAddr(s), 64));
+        }
+        while (p.size() < per) {
+            const std::size_t s = rng.below(pool);
+            const Addr a = slotAddr(s);
+            const std::size_t right = s % nlocks;
+            switch (rng.below(10)) {
+              case 0: // unsynchronized touch: a real race
+                p.push_back(drawAccess(rng, a));
+                break;
+              case 1: { // wrong lock: drains the candidate set
+                const Addr l = lockAddr(rng.below(nlocks));
+                p.push_back(Event::lock(l));
+                p.push_back(drawAccess(rng, a));
+                p.push_back(Event::unlock(l));
+                break;
+              }
+              case 2: // early release, then keep touching
+                p.push_back(Event::lock(lockAddr(right)));
+                p.push_back(drawAccess(rng, a));
+                p.push_back(Event::unlock(lockAddr(right)));
+                p.push_back(drawAccess(rng, a));
+                break;
+              case 3: // nested sections over two locks
+                p.push_back(Event::lock(lockAddr(right)));
+                p.push_back(Event::lock(lockAddr(rng.below(nlocks))));
+                p.push_back(drawAccess(rng, a));
+                p.push_back(Event::unlock(lockAddr(rng.below(nlocks))));
+                p.push_back(Event::unlock(lockAddr(right)));
+                break;
+              default: { // well-locked critical section
+                p.push_back(Event::lock(lockAddr(right)));
+                const std::size_t body = 1 + rng.below(3);
+                for (std::size_t i = 0; i < body; ++i)
+                    p.push_back(drawAccess(rng, a));
+                p.push_back(Event::unlock(lockAddr(right)));
+                break;
+              }
+            }
+        }
+    }
+}
+
+/**
+ * Leak laundering: heap pointers enter cells at Alloc events and are
+ * washed through cross-thread Assign chains — copied into shared cells,
+ * overwritten with plain data, re-derived from laundered copies — before
+ * Output events ship cells to the outside world. Exercises ADDRLEAK's
+ * window may-set closure and the must-kill SOS fold; Outputs of
+ * never-allocated rogue slots are guaranteed clean sinks.
+ */
+void
+leakLaunder(FuzzCase &c, Rng &rng, unsigned threads, std::size_t per)
+{
+    const std::size_t pool = 6 + rng.below(10);
+    c.programs.assign(threads, {});
+    for (unsigned t = 0; t < threads; ++t) {
+        auto &p = c.programs[t];
+        while (p.size() < per) {
+            const Addr a = slotAddr(rng.below(pool));
+            const Addr b = slotAddr(rng.below(pool));
+            switch (rng.below(10)) {
+              case 0: // pointer enters the cell
+                p.push_back(Event::alloc(a, drawSize(rng)));
+                break;
+              case 1: // scrubbed with plain data
+                p.push_back(Event::write(a, drawSize(rng)));
+                break;
+              case 2: // clean sink: rogue slots never hold a pointer
+                p.push_back(Event::output(
+                    slotAddr(kRogueSlotBase + rng.below(8)),
+                    drawSize(rng)));
+                break;
+              case 3:
+              case 4: // the sink under test
+                p.push_back(Event::output(a, drawSize(rng)));
+                break;
+              case 5:
+                p.push_back(
+                    Event::assign2(a, b, slotAddr(rng.below(pool))));
+                break;
+              case 6: // launder from off-heap: degenerates to a kill
+                p.push_back(Event::assign(a, 0x100 + 8 * rng.below(32)));
+                break;
+              default: // the laundering step: copy b into a
+                p.push_back(Event::assign(a, b));
+            }
+        }
+    }
+}
+
 /** Anything-goes soup over the full event vocabulary. */
 void
 randomSoup(FuzzCase &c, Rng &rng, unsigned threads, std::size_t per)
@@ -214,7 +334,7 @@ randomSoup(FuzzCase &c, Rng &rng, unsigned threads, std::size_t per)
             const Addr a = rng.chance(0.9)
                                ? slotAddr(rng.below(pool))
                                : 0x100 + 8 * rng.below(64); // off-heap
-            switch (rng.below(12)) {
+            switch (rng.below(15)) {
               case 0:
                 p.push_back(Event::alloc(a, drawSize(rng)));
                 break;
@@ -236,6 +356,15 @@ randomSoup(FuzzCase &c, Rng &rng, unsigned threads, std::size_t per)
                 break;
               case 6:
                 p.push_back(Event::nop());
+                break;
+              case 7:
+                p.push_back(Event::lock(lockAddr(rng.below(6))));
+                break;
+              case 8:
+                p.push_back(Event::unlock(lockAddr(rng.below(6))));
+                break;
+              case 9:
+                p.push_back(Event::output(a, drawSize(rng)));
                 break;
               default:
                 p.push_back(drawAccess(rng, a));
@@ -259,6 +388,8 @@ constexpr Scenario kScenarios[] = {
     {"epoch-skew", epochSkew},
     {"degenerate-epochs", degenerateEpochs},
     {"random-soup", randomSoup},
+    {"lock-churn", lockChurn},
+    {"leak-launder", leakLaunder},
 };
 
 /** True if swapping adjacent events preserves the thread's semantics:

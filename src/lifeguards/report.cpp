@@ -14,6 +14,8 @@ errorKindName(ErrorKind kind)
       case ErrorKind::NonIsolatedOp:     return "non-isolated-op";
       case ErrorKind::TaintedUse:        return "tainted-use";
       case ErrorKind::UninitializedRead: return "uninitialized-read";
+      case ErrorKind::DataRace:          return "data-race";
+      case ErrorKind::AddrLeak:          return "addr-leak";
     }
     return "?";
 }

@@ -35,6 +35,8 @@ enum class ErrorKind : std::uint8_t {
                        ///< alloc/free in the wings (metadata race)
     TaintedUse,        ///< tainted value used in a critical way
     UninitializedRead, ///< read of memory never written (DEFINEDCHECK)
+    DataRace,          ///< access with an empty candidate lockset (LOCKSET)
+    AddrLeak,          ///< heap pointer value reaches an output sink
 };
 
 const char *errorKindName(ErrorKind kind);

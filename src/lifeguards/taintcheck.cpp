@@ -231,6 +231,8 @@ ButterflyTaintCheck::wingsTaint(Addr key, CheckCtx &ctx)
 bool
 ButterflyTaintCheck::resolveKey(Addr key, CheckCtx &ctx)
 {
+    if (ctx.resolved - ctx.budgetMark >= kMaxResolvedPerCheck)
+        return true; // conservative: assume tainted rather than miss
     ++ctx.resolved;
     const bool relaxed = termination_ == TaintTermination::Relaxed;
 
@@ -428,6 +430,7 @@ ButterflyTaintCheck::pass2(const BlockView &block)
               case EventKind::Assign: {
                 bool tainted = false;
                 const Addr srcs[2] = {e.src0, e.src1};
+                ctx.budgetMark = ctx.resolved;
                 for (unsigned n = 0; n < e.nsrc && !tainted; ++n)
                     tainted = resolveKey(config_.keyOf(srcs[n]), ctx);
                 keys_over(e.addr, e.size, [&](Addr k) {
@@ -441,6 +444,7 @@ ButterflyTaintCheck::pass2(const BlockView &block)
                 break;
               }
               case EventKind::Use: {
+                ctx.budgetMark = ctx.resolved;
                 const bool tainted =
                     resolveKey(config_.keyOf(e.addr), ctx);
                 if (tainted) {

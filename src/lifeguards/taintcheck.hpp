@@ -87,6 +87,17 @@ class ButterflyTaintCheck : public AnalysisDriver
   private:
     static constexpr std::size_t kWindow = 4;
     static constexpr unsigned kMaxDepth = 128;
+    /**
+     * Work budget for one Check resolution. kMaxDepth bounds the DFS
+     * depth but not its branching: a dense web of Assign copy rules can
+     * make the SC inheritance-chain search exponential in the chain
+     * length (each wing rule re-explores its parents under a fresh
+     * counter ceiling). Past the budget the check gives up the same way
+     * the depth cutoff does — assume tainted rather than miss. The
+     * traversal order is deterministic, so all schedule modes cut off
+     * at the identical point and report-level equivalence is preserved.
+     */
+    static constexpr std::uint64_t kMaxResolvedPerCheck = 1u << 16;
     /** Root cost meaning "independent of the body block". */
     static constexpr std::int64_t kNoLocal = -1;
 
@@ -158,6 +169,8 @@ class ButterflyTaintCheck : public AnalysisDriver
         /** Resolutions performed through this context (committed to the
          *  shared counter at end of pass 2, under the mutex). */
         std::uint64_t resolved = 0;
+        /** ctx.resolved at the start of the current check (budget base). */
+        std::uint64_t budgetMark = 0;
     };
 
     /** Could @p key be tainted under some permitted interleaving? */

@@ -187,6 +187,16 @@ interleave(const std::vector<std::vector<Event>> &programs,
             continue; // markers take no execution step
 
         if (config.model == MemModel::TSO) {
+            // Lock/unlock carry acquire/release semantics: on x86-TSO a
+            // locked instruction flushes the store buffer, so every
+            // buffered store becomes visible before the sync operation.
+            if (e.kind == EventKind::Lock ||
+                e.kind == EventKind::Unlock) {
+                while (!buf.empty()) {
+                    trace.threads[t].events[buf.front()].gseq = gseq++;
+                    buf.pop_front();
+                }
+            }
             // Intra-thread dependences are respected (paper Section 4.4
             // assumption (i)): a TSO core forwards from its own store
             // buffer, so any buffered store to an overlapping address

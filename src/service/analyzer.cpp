@@ -6,15 +6,18 @@
 #include "butterfly/reaching_defs.hpp"
 #include "butterfly/window.hpp"
 #include "lifeguards/addrcheck.hpp"
+#include "lifeguards/addrleak.hpp"
 #include "lifeguards/defcheck.hpp"
+#include "lifeguards/lockset.hpp"
 #include "lifeguards/taintcheck.hpp"
 
 namespace bfly::service {
 
 namespace {
 
-const char *const kLifeguardNames[] = {"ADDRCHECK", "TAINTCHECK",
-                                       "DEFINEDCHECK", "REACHING-DEFS"};
+const char *const kLifeguardNames[] = {"ADDRCHECK",     "TAINTCHECK",
+                                       "DEFINEDCHECK",  "REACHING-DEFS",
+                                       "LOCKSET",       "ADDRLEAK"};
 
 void
 fnv(std::uint64_t &h, std::uint64_t v)
@@ -101,6 +104,27 @@ runLifeguard(const SessionSpec &spec, std::size_t num_threads,
         ButterflyDefCheck driver(num_threads, cfg);
         report.peakResidentEpochs = drive(driver);
         report.records = canonicalRecords(driver.errors());
+        break;
+      }
+      case Lifeguard::LockSet: {
+        LockSetConfig cfg;
+        cfg.granularity = spec.granularity;
+        cfg.heapBase = spec.heapBase;
+        cfg.heapLimit = spec.heapLimit;
+        ButterflyLockSet driver(num_threads, cfg);
+        report.peakResidentEpochs = drive(driver);
+        report.records = canonicalRecords(driver.errors());
+        break;
+      }
+      case Lifeguard::AddrLeak: {
+        AddrLeakConfig cfg;
+        cfg.granularity = spec.granularity;
+        cfg.heapBase = spec.heapBase;
+        cfg.heapLimit = spec.heapLimit;
+        ButterflyAddrLeak driver(num_threads, cfg);
+        report.peakResidentEpochs = drive(driver);
+        report.records = canonicalRecords(driver.errors());
+        report.sos = driver.sosNow().sorted();
         break;
       }
       case Lifeguard::ReachingDefs: {

@@ -33,11 +33,13 @@ enum class Lifeguard : std::uint8_t {
     TaintCheck = 1,
     DefCheck = 2,
     ReachingDefs = 3,
+    LockSet = 4,
+    AddrLeak = 5,
 };
 
 inline constexpr Lifeguard kAllLifeguards[] = {
     Lifeguard::AddrCheck, Lifeguard::TaintCheck, Lifeguard::DefCheck,
-    Lifeguard::ReachingDefs};
+    Lifeguard::ReachingDefs, Lifeguard::LockSet, Lifeguard::AddrLeak};
 
 const char *lifeguardName(Lifeguard lg);
 

@@ -281,7 +281,7 @@ MonitorServer::handleFrame(Connection &conn, const Frame &frame)
         }
         SessionSpec spec;
         if (decodeSessionOpen(frame.payload, spec) != DecodeStatus::Ok ||
-            spec.lifeguard > 3 || spec.memModel > 1) {
+            spec.lifeguard > 5 || spec.memModel > 1) {
             reject(RejectCode::Protocol, "bad SessionOpen");
             return;
         }

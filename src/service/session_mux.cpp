@@ -314,6 +314,11 @@ SessionMux::pump(const std::shared_ptr<Session> &session)
             return;
         }
 
+        // The budget charge below admits sessions against
+        // maxSessionBytes assuming this exact per-event footprint; the
+        // assert ties the accounting to the layout it was tuned for.
+        static_assert(sizeof(Event) == 40,
+                      "Event grew: retune SessionMux byte budgets");
         const std::size_t event_bytes = decoded_now * sizeof(Event);
         bool too_large = false;
         {

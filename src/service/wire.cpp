@@ -370,7 +370,7 @@ decodeErrorReport(std::span<const std::uint8_t> payload,
         if (!r.getVarint(tid) || !r.getVarint(rec.index) ||
             !r.getU8(kind) || !r.getVarint(size) || !r.getU64(rec.addr) ||
             tid > 1u << 16 || size > 0xFFFF ||
-            kind > static_cast<std::uint8_t>(ErrorKind::UninitializedRead))
+            kind > static_cast<std::uint8_t>(ErrorKind::AddrLeak))
             return DecodeStatus::Corrupt;
         rec.tid = static_cast<ThreadId>(tid);
         rec.kind = static_cast<ErrorKind>(kind);

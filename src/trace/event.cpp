@@ -19,6 +19,9 @@ eventKindName(EventKind kind)
       case EventKind::Heartbeat: return "heartbeat";
       case EventKind::Barrier:   return "barrier";
       case EventKind::Nop:       return "nop";
+      case EventKind::Lock:      return "lock";
+      case EventKind::Unlock:    return "unlock";
+      case EventKind::Output:    return "output";
     }
     return "?";
 }

@@ -40,6 +40,9 @@ enum class EventKind : std::uint8_t {
     Barrier,   ///< synchronization: all threads rendezvous (workloads use
                ///< this to be race-free; lifeguards ignore it)
     Nop,       ///< instruction with no lifeguard-relevant effect
+    Lock,      ///< acquire the lock whose identity is @c addr
+    Unlock,    ///< release the lock whose identity is @c addr
+    Output,    ///< [addr, addr+size) flows to an output sink (LOG/SEND)
 };
 
 /** Printable name of an event kind. */
@@ -130,6 +133,24 @@ struct Event
         return {EventKind::Nop, 0, 0, kNoAddr, kNoAddr, kNoAddr, 0};
     }
 
+    static Event
+    lock(Addr l)
+    {
+        return {EventKind::Lock, 0, 0, l, kNoAddr, kNoAddr, 0};
+    }
+
+    static Event
+    unlock(Addr l)
+    {
+        return {EventKind::Unlock, 0, 0, l, kNoAddr, kNoAddr, 0};
+    }
+
+    static Event
+    output(Addr a, std::uint16_t sz = 8)
+    {
+        return {EventKind::Output, 0, sz, a, kNoAddr, kNoAddr, 0};
+    }
+
     /** True for events that read or write application memory. */
     bool
     isMemoryAccess() const
@@ -139,6 +160,7 @@ struct Event
           case EventKind::Write:
           case EventKind::Assign:
           case EventKind::Use:
+          case EventKind::Output:
             return true;
           default:
             return false;
@@ -148,6 +170,13 @@ struct Event
     /** Human-readable rendering for error reports and debugging. */
     std::string toString() const;
 };
+
+/** The session mux charges queued events at sizeof(Event); the wire and
+ *  .bfz encodings quantize sizes around the same figure. Pin it so a
+ *  field addition cannot silently change admission semantics. */
+static_assert(sizeof(Event) == 40,
+              "Event layout changed: audit SessionMux byte accounting "
+              "and the log codec before relaxing this assert");
 
 } // namespace bfly
 

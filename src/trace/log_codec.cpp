@@ -22,6 +22,8 @@ defaultSize(EventKind kind)
       case EventKind::TaintSrc:
       case EventKind::Untaint:
         return 8;
+      case EventKind::Output:
+        return 8;
       case EventKind::Use:
         return 1;
       default:
@@ -166,7 +168,7 @@ LogDecoder::tryDecode(Event &out)
     Event e;
     e.kind = static_cast<EventKind>(opcode & kKindMask);
     if ((opcode & kKindMask) >
-        static_cast<std::uint8_t>(EventKind::Nop))
+        static_cast<std::uint8_t>(EventKind::Output))
         return fail(DecodeStatus::Corrupt); // hole in the kind space
     e.nsrc = static_cast<std::uint8_t>(opcode >> kNsrcShift) & 0x3;
     if (e.nsrc > 2)

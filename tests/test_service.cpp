@@ -3,15 +3,17 @@
  * Tests for the monitoring service: wire protocol round-trips and
  * hostile-input handling, session-mux admission control (queue-full and
  * global-budget shedding, hard-cap rejection), loopback conformance of
- * remote reports against in-process reference runs, back-pressure
- * end-to-end, per-session telemetry isolation, and the slow-client
- * partial-report path.
+ * remote reports against in-process reference runs (all six
+ * lifeguards), the pinned per-event byte charge, crash-restart replay
+ * of the .bfz spool, back-pressure end-to-end, per-session telemetry
+ * isolation, and the slow-client partial-report path.
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <thread>
 
@@ -442,6 +444,56 @@ TEST(SessionMuxTest, RejectsOutOfRangeTidAndIgnoresOutOfSequence)
     EXPECT_EQ(reject.code, RejectCode::Protocol);
 }
 
+TEST(SessionMuxTest, ChargesDecodedEventsAtPinnedEventSize)
+{
+    // Satellite: the admission math (maxSessionBytes, globalBudgetBytes)
+    // assumes every decoded event costs exactly sizeof(Event) == 40
+    // bytes; the static_assert in session_mux.cpp pins the layout. Feed
+    // a known trace without TraceEnd and check the steady-state charge.
+    WorkerPool pool(2);
+    SessionMux mux(pool, MuxConfig{}, [] {});
+
+    const Addr heap = 0x400000;
+    const Trace marked = makeMarkedTrace(1, 2, 16, heap);
+    std::uint64_t total_events = 0;
+    for (const ThreadTrace &t : marked.threads)
+        total_events += t.events.size();
+    ASSERT_GT(total_events, 0u);
+
+    const std::uint64_t id = mux.open(addrcheckSpec(marked, heap));
+    const auto items = chunkItems(marked, 64);
+    BusyInfo busy;
+    RejectInfo reject;
+    for (std::uint64_t i = 0; i < items.size(); ++i)
+        ASSERT_EQ(mux.submitChunk(id, {i, items[i].first},
+                                  items[i].second, busy, reject),
+                  Admission::Accepted);
+
+    // Once the pump drains, the queued-bytes charge has been fully
+    // converted into the decoded-event charge: 40 bytes per event, for
+    // heartbeats and allocs just like loads and stores.
+    const auto deadline = std::chrono::steady_clock::now() + 10s;
+    while (mux.globalBytes() != total_events * sizeof(Event) &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(1ms);
+    EXPECT_EQ(mux.globalBytes(), total_events * 40u);
+
+    // Completing the session releases the whole charge.
+    ASSERT_EQ(mux.submitTraceEnd(id, items.size(), busy, reject),
+              Admission::Accepted);
+    bool completed = false;
+    while (!completed && std::chrono::steady_clock::now() < deadline) {
+        for (SessionResult &result : mux.drainCompleted())
+            if (result.sessionId == id) {
+                completed = true;
+                EXPECT_FALSE(result.failed);
+            }
+        std::this_thread::sleep_for(1ms);
+    }
+    ASSERT_TRUE(completed);
+    EXPECT_EQ(mux.globalBytes(), 0u) << "budget leaked on completion";
+}
+
 // ---------------------------------------------------------------- loopback
 
 TEST(MonitorService, LoopbackConformanceAcrossLifeguards)
@@ -462,11 +514,12 @@ TEST(MonitorService, LoopbackConformanceAcrossLifeguards)
             EpochLayout::byGlobalSeq(trace, fuzz_case.globalH);
 
         SessionSpec spec;
-        spec.lifeguard = static_cast<std::uint8_t>(i % 4);
+        spec.lifeguard = static_cast<std::uint8_t>(i % 6);
         spec.memModel = fuzz_case.model == MemModel::TSO ? 1 : 0;
         spec.numThreads =
             static_cast<std::uint32_t>(trace.numThreads());
-        spec.granularity = spec.lifeguard == 1 ? 4 : 8;
+        spec.granularity =
+            spec.lifeguard == 1 || spec.lifeguard == 5 ? 4 : 8;
         spec.heapBase = fuzz_case.heapBase;
         spec.heapLimit = fuzz_case.heapLimit;
 
@@ -514,12 +567,13 @@ TEST(MonitorService, ConcurrentSessionsConform)
                     EpochLayout::byGlobalSeq(trace, fuzz_case.globalH);
                 SessionSpec spec;
                 spec.lifeguard =
-                    static_cast<std::uint8_t>((w + i) % 4);
+                    static_cast<std::uint8_t>((w + i) % 6);
                 spec.memModel =
                     fuzz_case.model == MemModel::TSO ? 1 : 0;
                 spec.numThreads =
                     static_cast<std::uint32_t>(trace.numThreads());
-                spec.granularity = spec.lifeguard == 1 ? 4 : 8;
+                spec.granularity =
+                    spec.lifeguard == 1 || spec.lifeguard == 5 ? 4 : 8;
                 spec.heapBase = fuzz_case.heapBase;
                 spec.heapLimit = fuzz_case.heapLimit;
                 const RemoteReport local =
@@ -546,6 +600,87 @@ TEST(MonitorService, ConcurrentSessionsConform)
     EXPECT_EQ(mismatches.load(), 0);
     EXPECT_EQ(server.sessionsCompleted(),
               static_cast<std::uint64_t>(kThreads * kTracesPerThread));
+}
+
+TEST(MonitorService, CrashRestartSpoolReplayKeepsFingerprint)
+{
+    // Crash-restart durability: each marked trace is spooled to a .bfz
+    // log file before it is sent. After the server "crashes" (stop, all
+    // in-memory state discarded) a fresh server on the same path must
+    // reproduce a bit-identical report — same records, SOS, and summary
+    // fingerprint — from the reloaded spool, across all six lifeguards.
+    ServerConfig scfg;
+    scfg.unixPath = tempSocketPath("crash");
+    scfg.workers = 2;
+
+    fuzz::FuzzerConfig fcfg;
+    fcfg.seed = 20260808;
+    fuzz::TraceFuzzer fuzzer(fcfg);
+
+    struct Spooled
+    {
+        std::string path;
+        SessionSpec spec;
+        RemoteReport report;
+        std::uint64_t fingerprint = 0;
+    };
+    std::vector<Spooled> spool;
+
+    {
+        MonitorServer server(scfg);
+        ASSERT_TRUE(server.start());
+        for (int i = 0; i < 12; ++i) {
+            const fuzz::FuzzCase fuzz_case = fuzzer.next();
+            const Trace trace = fuzz_case.materialize();
+            const EpochLayout layout =
+                EpochLayout::byGlobalSeq(trace, fuzz_case.globalH);
+
+            Spooled s;
+            s.spec.lifeguard = static_cast<std::uint8_t>(i % 6);
+            s.spec.memModel = fuzz_case.model == MemModel::TSO ? 1 : 0;
+            s.spec.numThreads =
+                static_cast<std::uint32_t>(trace.numThreads());
+            s.spec.granularity =
+                s.spec.lifeguard == 1 || s.spec.lifeguard == 5 ? 4 : 8;
+            s.spec.heapBase = fuzz_case.heapBase;
+            s.spec.heapLimit = fuzz_case.heapLimit;
+
+            const Trace marked = withHeartbeatMarkers(trace, layout);
+            s.path = ::testing::TempDir() + "bfly_spool_" +
+                     std::to_string(::getpid()) + "_" +
+                     std::to_string(i) + ".bfz";
+            ASSERT_TRUE(saveTrace(marked, s.path));
+
+            MonitorClient client;
+            ASSERT_TRUE(client.connectUnix(scfg.unixPath));
+            const RunResult remote = client.run(s.spec, marked);
+            ASSERT_TRUE(remote.ok)
+                << "case " << fuzz_case.caseId << ": " << remote.error;
+            s.report = remote.report;
+            s.fingerprint = remote.summary.fingerprint;
+            spool.push_back(std::move(s));
+        }
+        server.stop(); // the crash: every in-memory session is gone
+    }
+
+    // The spool survives the crash. The codec drops gseq (a stored log
+    // has no global order), but the heartbeat markers carry the epoch
+    // structure, so the replay slices identically by construction.
+    MonitorServer server(scfg);
+    ASSERT_TRUE(server.start());
+    for (const Spooled &s : spool) {
+        const Trace replay = loadTrace(s.path);
+        MonitorClient client;
+        ASSERT_TRUE(client.connectUnix(scfg.unixPath));
+        const RunResult remote = client.run(s.spec, replay);
+        ASSERT_TRUE(remote.ok) << s.path << ": " << remote.error;
+        EXPECT_EQ(remote.summary.fingerprint, s.fingerprint) << s.path;
+        EXPECT_TRUE(remote.report.identical(s.report))
+            << s.path << " replay diverged after restart";
+        std::remove(s.path.c_str());
+    }
+    server.stop();
+    EXPECT_EQ(server.sessionsFailed(), 0u);
 }
 
 TEST(MonitorService, ShedsUnderBackPressureAndStillConforms)

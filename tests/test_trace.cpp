@@ -295,6 +295,103 @@ TEST(EpochLayout, HeartbeatsTrailingPartialEpoch)
     EXPECT_EQ(layout.block(1, 0).first, 1u);
 }
 
+TEST(EpochLayout, DuplicateHeartbeatsShiftDeterministically)
+{
+    // Heartbeat markers carry no sequence numbers — they are counted
+    // positionally. A duplicated (back-to-back) marker therefore does
+    // not corrupt the slicing; it inserts an empty epoch for that
+    // thread and shifts its subsequent blocks one epoch later. No
+    // event may be lost or reordered in the process.
+    Trace trace = test::traceOf({
+        {Event::read(1), Event::heartbeat(), Event::heartbeat(),
+         Event::heartbeat(), Event::read(2)},
+        {Event::read(3), Event::heartbeat(), Event::read(4)},
+    });
+    const EpochLayout layout = EpochLayout::fromHeartbeats(trace);
+    EXPECT_EQ(layout.numEpochs(), 4u);
+    // Thread 0: the duplicated markers open two empty epochs.
+    EXPECT_EQ(layout.block(0, 0).size(), 1u);
+    EXPECT_EQ(layout.block(1, 0).size(), 0u);
+    EXPECT_EQ(layout.block(2, 0).size(), 0u);
+    EXPECT_EQ(layout.block(3, 0).size(), 1u);
+    EXPECT_EQ(layout.block(3, 0).events[0].addr, 2u);
+    // Thread 1 is unaffected and pads to the common epoch count.
+    EXPECT_EQ(layout.block(1, 1).size(), 1u);
+    EXPECT_EQ(layout.block(2, 1).size(), 0u);
+    EXPECT_EQ(layout.block(3, 1).size(), 0u);
+    // Every non-heartbeat event is in exactly one block.
+    std::size_t total = 0;
+    for (EpochId l = 0; l < layout.numEpochs(); ++l)
+        for (ThreadId t = 0; t < layout.numThreads(); ++t)
+            total += layout.block(l, t).size();
+    EXPECT_EQ(total, trace.instructionCount());
+}
+
+TEST(EpochLayout, SkewedHeartbeatsStayPositional)
+{
+    // A thread whose clock runs fast emits its markers "early" relative
+    // to its peers (out-of-order between threads). There is no global
+    // marker order to violate: each thread's k-th marker closes its
+    // k-th epoch, so the skewed thread simply lands its events in
+    // earlier epochs while its peers keep theirs.
+    Trace trace = test::traceOf({
+        // Fast thread: all markers up front, events land late.
+        {Event::heartbeat(), Event::heartbeat(), Event::read(1),
+         Event::read(2)},
+        // Slow thread: events first, markers last.
+        {Event::read(3), Event::read(4), Event::heartbeat(),
+         Event::heartbeat()},
+    });
+    const EpochLayout layout = EpochLayout::fromHeartbeats(trace);
+    EXPECT_EQ(layout.numEpochs(), 3u);
+    EXPECT_EQ(layout.block(0, 0).size(), 0u);
+    EXPECT_EQ(layout.block(1, 0).size(), 0u);
+    EXPECT_EQ(layout.block(2, 0).size(), 2u);
+    EXPECT_EQ(layout.block(0, 1).size(), 2u);
+    EXPECT_EQ(layout.block(1, 1).size(), 0u);
+    EXPECT_EQ(layout.block(2, 1).size(), 0u);
+}
+
+TEST(EpochStream, HeartbeatModeMatchesLayoutOnSkewedMarkers)
+{
+    // The streaming slicer must agree block-for-block with the
+    // materialized layout even when markers are duplicated in one
+    // thread and skewed across threads — this is what keeps the
+    // service's pipelined analysis bit-identical to the client's
+    // reference when heartbeats misbehave.
+    Trace trace = test::traceOf({
+        {Event::read(1), Event::heartbeat(), Event::heartbeat(),
+         Event::read(2), Event::heartbeat(), Event::read(3)},
+        {Event::heartbeat(), Event::read(4), Event::read(5),
+         Event::heartbeat(), Event::read(6)},
+        {Event::read(7), Event::heartbeat()},
+    });
+    const EpochLayout layout = EpochLayout::fromHeartbeats(trace);
+
+    EpochStream::Config cfg;
+    cfg.fromHeartbeats = true;
+    EpochStream stream(trace, cfg);
+    ASSERT_EQ(stream.numEpochs(), layout.numEpochs());
+    ASSERT_EQ(stream.numThreads(), layout.numThreads());
+
+    const std::size_t L = layout.numEpochs();
+    for (EpochId l = 0; l < L; ++l) {
+        stream.acquire(l);
+        for (ThreadId t = 0; t < layout.numThreads(); ++t) {
+            const BlockView a = layout.block(l, t);
+            const BlockView b = stream.block(l, t);
+            ASSERT_EQ(a.size(), b.size()) << "l=" << l << " t=" << t;
+            EXPECT_EQ(a.first, b.first) << "l=" << l << " t=" << t;
+            for (std::size_t i = 0; i < a.size(); ++i)
+                EXPECT_EQ(a.events[i].addr, b.events[i].addr);
+        }
+        if (l >= 3)
+            stream.retire(l - 3);
+    }
+    while (stream.residentEpochs() > 0)
+        stream.retire(L - stream.residentEpochs());
+}
+
 TEST(LogBuffer, CapacityFromBytes)
 {
     LogBuffer buf(8 * 1024, 16);
