@@ -12,7 +12,10 @@
  * fails the binary, so the bench doubles as a conformance smoke.
  *
  * Writes BENCH_bench_service.json (directory overridable with
- * BFLY_BENCH_JSON_DIR). `--quick` shrinks the sweep for CI smoke.
+ * BFLY_BENCH_JSON_DIR). `--quick` shrinks the sweep for CI smoke;
+ * `--batch` turns on the server-side columnar pass-1 kernels
+ * (MuxConfig::batchMode) while the reference stays scalar, so the
+ * conformance check also proves batch-mode bit-identity end to end.
  */
 
 #include <atomic>
@@ -100,12 +103,16 @@ struct SweepResult
 SweepResult
 benchConfig(std::size_t sessions, std::size_t chunk_bytes,
             std::size_t traces_per_session, const Trace &marked,
-            const SessionSpec &spec, const RemoteReport &reference)
+            const SessionSpec &spec, const RemoteReport &reference,
+            bool batch)
 {
     ServerConfig scfg;
     scfg.unixPath = "/tmp/bfly-bench-" + std::to_string(::getpid()) +
                     "-" + std::to_string(sessions) + "-" +
                     std::to_string(chunk_bytes) + ".sock";
+    // Server-side batched kernels; the reference report stays scalar,
+    // so the conformance check doubles as a batch bit-identity check.
+    scfg.mux.batchMode = batch;
     MonitorServer server(scfg);
     if (!server.start()) {
         std::fprintf(stderr, "bench_service: bind failed\n");
@@ -169,9 +176,12 @@ main(int argc, char **argv)
     using namespace bfly;
 
     bool quick = false;
+    bool batch = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0)
             quick = true;
+        else if (std::strcmp(argv[i], "--batch") == 0)
+            batch = true;
     }
 
     const Addr heap = 0x1000000;
@@ -202,7 +212,7 @@ main(int argc, char **argv)
         for (std::size_t chunk : chunk_sizes) {
             const SweepResult r = benchConfig(
                 sessions, chunk, traces_per_session, marked, spec,
-                reference);
+                reference, batch);
             results.push_back(r);
             std::printf("%-22s %10.3f %12.0f %12.3f %8llu%s\n",
                         ("s" + std::to_string(sessions) + "_c" +
@@ -229,8 +239,8 @@ main(int argc, char **argv)
     }
     std::fprintf(f,
                  "{\n  \"bench\": \"bench_service\",\n  \"quick\": %s,\n"
-                 "  \"sweep\": [\n",
-                 quick ? "true" : "false");
+                 "  \"batch\": %s,\n  \"sweep\": [\n",
+                 quick ? "true" : "false", batch ? "true" : "false");
     for (std::size_t i = 0; i < results.size(); ++i) {
         const SweepResult &r = results[i];
         std::fprintf(

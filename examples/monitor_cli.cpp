@@ -18,6 +18,10 @@
  * positives, false negatives) is printed. Exit is nonzero on any false
  * negative — the butterfly guarantee is "no error missed".
  *
+ * `--batch` selects the lifeguard's batched (columnar SoA) pass-1
+ * kernels. Reports are bit-identical to the default scalar kernels;
+ * only the per-block execution strategy changes.
+ *
  * `--telemetry` writes the metrics-registry snapshot as nested JSON;
  * `--trace` writes a Chrome trace-event file of the session (load it in
  * chrome://tracing or https://ui.perfetto.dev — pid 0 is wall-clock,
@@ -51,7 +55,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [--workload NAME] [--threads N] [--epoch H]\n"
         "          [--instr N] [--model sc|tso] [--seed S] [--verbose]\n"
-        "          [--lifeguard addrcheck|lockset|addrleak]\n"
+        "          [--lifeguard addrcheck|lockset|addrleak] [--batch]\n"
         "          [--telemetry OUT.json] [--trace OUT.trace.json]\n"
         "       %s --workload list\n",
         argv0, argv0);
@@ -145,6 +149,7 @@ main(int argc, char **argv)
     MemModel model = MemModel::SequentiallyConsistent;
     std::uint64_t seed = 42;
     bool verbose = false;
+    bool batch = false;
     std::string lifeguard = "addrcheck";
     std::string telemetry_out;
     std::string trace_out;
@@ -183,6 +188,8 @@ main(int argc, char **argv)
             telemetry_out = next();
         } else if (arg == "--trace") {
             trace_out = next();
+        } else if (arg == "--batch") {
+            batch = true;
         } else if (arg == "--verbose") {
             verbose = true;
         } else {
@@ -231,6 +238,7 @@ main(int argc, char **argv)
     cfg.epochSize = epoch;
     cfg.model = model;
     cfg.interleaveSeed = seed * 7919 + 1;
+    cfg.batchMode = batch;
 
     std::printf("monitoring %s: %u threads, h=%zu, %s, ~%zu "
                 "events/thread\n",

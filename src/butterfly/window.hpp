@@ -70,6 +70,18 @@ class AnalysisDriver
     }
 
     /**
+     * Select the batched (columnar) pass-1 kernels where the driver has
+     * them. The contract is strict: batched pass 1 must produce
+     * bit-identical observable results — error records (including
+     * first-report order per event), block summaries, SOS and counters
+     * — to the scalar walk; pass 2 and finalizeEpoch are never batched.
+     * The default is a scalar shim (the flag is ignored), so drivers
+     * without batched kernels stay uniform members of any mode matrix.
+     * Must be called before the schedule runs, never mid-run.
+     */
+    virtual void setBatchMode(bool enabled) { (void)enabled; }
+
+    /**
      * Ordering constraint the pipelined (dependency-graph) schedule must
      * honor for this driver. The default — true — reproduces the
      * sequential pattern exactly: finalizeEpoch(l) waits for pass 2 of

@@ -26,7 +26,8 @@ const char *const kLifeguardNames[] = {"ADDRCHECK",     "TAINTCHECK",
                                        "DEFINEDCHECK",  "REACHING-DEFS",
                                        "LOCKSET",       "ADDRLEAK"};
 const char *const kModeNames[] = {"sequential", "parallel",
-                                  "pipelined-layout", "pipelined-stream"};
+                                  "pipelined-layout", "pipelined-stream",
+                                  "batched"};
 const char *const kInvariantNames[] = {"mode-equivalence",
                                        "oracle-subsumption",
                                        "fp-monotonicity"};
@@ -194,6 +195,12 @@ drive(const CaseContext &ctx, RunMode mode, AnalysisDriver &driver)
         WindowSchedule(true, &pool).runPipelined(stream, driver);
         break;
       }
+      case RunMode::Batched:
+        // Same barrier schedule as Sequential; only the lifeguard's
+        // pass-1 kernel changes (scalar shim for drivers without one).
+        driver.setBatchMode(true);
+        WindowSchedule(false).run(ctx.layout, driver);
+        break;
     }
 }
 

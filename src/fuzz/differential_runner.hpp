@@ -61,18 +61,25 @@ inline constexpr Lifeguard kAllLifeguards[] = {
 const char *lifeguardName(Lifeguard lg);
 
 /** Scheduling modes: {sequential, parallel, pipelined} × {full-trace,
- *  EpochStream}. Streaming exists only for the pipelined task graph (the
- *  barrier schedule requires a materialized layout by construction), so
- *  the matrix has four populated cells. */
+ *  EpochStream}, plus the batched-kernel execution strategy. Streaming
+ *  exists only for the pipelined task graph (the barrier schedule
+ *  requires a materialized layout by construction), so the scheduling
+ *  matrix has four populated cells; Batched reruns the sequential
+ *  barrier schedule with the lifeguard's columnar pass-1 kernels, which
+ *  must be report-identical to the scalar ones. */
 enum class RunMode : std::uint8_t {
     Sequential,      ///< barrier schedule, scheduler thread only
     Parallel,        ///< barrier schedule, per-block worker fan-out
     PipelinedLayout, ///< dependency task graph over the full trace
     PipelinedStream, ///< dependency task graph over an EpochStream
+    Batched,         ///< barrier schedule, columnar (SoA) pass-1 kernels
 };
 inline constexpr RunMode kAllModes[] = {
     RunMode::Sequential, RunMode::Parallel, RunMode::PipelinedLayout,
-    RunMode::PipelinedStream};
+    RunMode::PipelinedStream, RunMode::Batched};
+/** FaultPlan::modeMask value covering every mode (1 bit per RunMode). */
+inline constexpr std::uint8_t kAllModesMask =
+    (1u << std::size(kAllModes)) - 1;
 const char *runModeName(RunMode mode);
 
 /** Which property a violation breaches. */
@@ -90,7 +97,7 @@ struct FaultPlan
     Lifeguard target = Lifeguard::AddrCheck;
     /** Records of this kind are dropped from the corrupted reports. */
     ErrorKind dropKind = ErrorKind::UnallocatedAccess;
-    /** Bit per RunMode (1 << mode). All four bits set simulates a true
+    /** Bit per RunMode (1 << mode). kAllModesMask simulates a true
      *  false negative; a subset simulates a scheduling-dependent bug. */
     std::uint8_t modeMask = 0;
 

@@ -84,6 +84,7 @@ runSession(const SessionConfig &config)
     acfg.heapLimit = workload.heapLimit;
 
     ButterflyAddrCheck butterfly(layout, acfg);
+    butterfly.setBatchMode(config.batchMode);
     // One persistent pool per run: its threads service every pass of the
     // schedule instead of being spawned and joined twice per epoch.
     std::unique_ptr<WorkerPool> pool;

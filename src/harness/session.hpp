@@ -42,6 +42,14 @@ struct SessionConfig
      * and SessionResult::peakResidentEpochs reports the high-water mark.
      */
     bool pipelineMode = false;
+    /**
+     * Opt-in: select the batched (columnar SoA) pass-1 kernels in the
+     * lifeguard. Default off. Reports, summaries and counters are
+     * guaranteed bit-identical to the scalar kernels (see DESIGN.md
+     * "Columnar epoch batches"); only the per-block execution strategy
+     * changes. Composes freely with parallelPasses/pipelineMode.
+     */
+    bool batchMode = false;
 };
 
 /** Everything measured in one run. */

@@ -79,6 +79,17 @@ class ButterflyAddrCheck : public AnalysisDriver
     void finalizeEpoch(EpochId l) override;
 
     /**
+     * Batched pass 1: transpose the block to columnar form, expand it
+     * into (key, op) pairs, sort by key, and build the summary sets by
+     * run — one LSOS probe per distinct key and run-length bulk inserts
+     * into the FlatSets, instead of one hash probe per event. Produces
+     * bit-identical results to the scalar walk (error records in the
+     * same order, identical summaries and counters); pass 2 and
+     * finalizeEpoch are unchanged either way.
+     */
+    void setBatchMode(bool enabled) override { batched_ = enabled; }
+
+    /**
      * ADDRCHECK's pass 2 and finalize consume only pass-1 summaries —
      * never the SOS that finalize advances, nor pass-2 results — so the
      * pipelined schedule may run them relaxed: finalizeEpoch(l) does not
@@ -141,7 +152,17 @@ class ButterflyAddrCheck : public AnalysisDriver
                      const std::vector<ErrorRecord> &local_errors,
                      std::uint64_t checks, std::uint64_t isolation);
 
+    /** Record the finished pass-1 summary's size and commit errors —
+     *  the shared tail of the scalar and batched kernels. */
+    void finishPass1(EpochId l, ThreadId t, const BlockSummary &s,
+                     const std::vector<ErrorRecord> &local_errors,
+                     std::uint64_t checks);
+
+    /** The batched (columnar sort-by-key) pass-1 kernel. */
+    void pass1Batched(const BlockView &block);
+
     AddrCheckConfig config_;
+    bool batched_ = false; ///< batched pass-1 kernels selected
 
     /** Ring of per-epoch, per-thread summaries. */
     std::vector<std::array<BlockSummary, kWindow>> summaries_; ///< [t]

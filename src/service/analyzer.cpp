@@ -182,7 +182,7 @@ RemoteReport::identical(const RemoteReport &other) const
 
 RemoteReport
 analyzeStreaming(const SessionSpec &spec, const Trace &trace,
-                 WorkerPool &pool)
+                 WorkerPool &pool, bool batch)
 {
     EpochStream::Config cfg;
     cfg.windowEpochs = spec.windowEpochs;
@@ -192,6 +192,7 @@ analyzeStreaming(const SessionSpec &spec, const Trace &trace,
     RemoteReport report = runLifeguard(
         spec, trace.numThreads(), stream.numEpochs(),
         [&](AnalysisDriver &driver) {
+            driver.setBatchMode(batch);
             if (stream.numEpochs() == 0)
                 return std::size_t{0}; // empty session, nothing to run
             const PipelineStats stats =
@@ -204,11 +205,12 @@ analyzeStreaming(const SessionSpec &spec, const Trace &trace,
 
 RemoteReport
 analyzeReference(const SessionSpec &spec, const Trace &trace,
-                 const EpochLayout &layout)
+                 const EpochLayout &layout, bool batch)
 {
     RemoteReport report = runLifeguard(
         spec, layout.numThreads(), layout.numEpochs(),
         [&](AnalysisDriver &driver) {
+            driver.setBatchMode(batch);
             WindowSchedule(false).run(layout, driver);
             return std::size_t{0};
         });

@@ -60,17 +60,21 @@ struct RemoteReport
  * Server path: pipelined dependency-graph schedule over a bounded
  * EpochStream sliced at the trace's embedded heartbeat markers, with
  * graph tasks dispatched on @p pool (shared across sessions — each run
- * waits on its own TaskGroup).
+ * waits on its own TaskGroup). @p batch selects the lifeguard's batched
+ * (columnar) pass-1 kernels; reports are bit-identical either way, so
+ * the flag is a server-side deployment knob (MuxConfig::batchMode), not
+ * part of the wire protocol.
  */
 RemoteReport analyzeStreaming(const SessionSpec &spec, const Trace &trace,
-                              WorkerPool &pool);
+                              WorkerPool &pool, bool batch = false);
 
 /**
  * Reference path: sequential barrier schedule over a materialized
- * layout. @p layout must describe @p trace.
+ * layout. @p layout must describe @p trace. @p batch as above.
  */
 RemoteReport analyzeReference(const SessionSpec &spec, const Trace &trace,
-                              const EpochLayout &layout);
+                              const EpochLayout &layout,
+                              bool batch = false);
 
 } // namespace bfly::service
 

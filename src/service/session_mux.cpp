@@ -314,12 +314,7 @@ SessionMux::pump(const std::shared_ptr<Session> &session)
             return;
         }
 
-        // The budget charge below admits sessions against
-        // maxSessionBytes assuming this exact per-event footprint; the
-        // assert ties the accounting to the layout it was tuned for.
-        static_assert(sizeof(Event) == 40,
-                      "Event grew: retune SessionMux byte budgets");
-        const std::size_t event_bytes = decoded_now * sizeof(Event);
+        const std::size_t event_bytes = decodedEventBytes(decoded_now);
         bool too_large = false;
         {
             std::lock_guard<std::mutex> lock(session->mutex);
@@ -331,9 +326,15 @@ SessionMux::pump(const std::shared_ptr<Session> &session)
             session->decodedEvents += decoded_now;
             session->accounted += event_bytes;
             session->accounted -= chunk.bytes.size();
-            globalBytes_.fetch_add(event_bytes, std::memory_order_relaxed);
-            globalBytes_.fetch_sub(chunk.bytes.size(),
-                                   std::memory_order_relaxed);
+            // One accounting call per chunk: charge the decoded events
+            // and credit the drained raw bytes as a single signed delta
+            // (two's-complement wraparound makes fetch_add a subtract
+            // when the delta is negative). Intermediate states where
+            // only half the adjustment is visible can no longer be
+            // observed by concurrent admission decisions.
+            const std::size_t delta =
+                event_bytes - chunk.bytes.size(); // may wrap: intended
+            globalBytes_.fetch_add(delta, std::memory_order_relaxed);
             too_large = session->decodedEvents > config_.maxSessionEvents ||
                         session->accounted > config_.maxSessionBytes;
         }
@@ -378,7 +379,8 @@ SessionMux::analyze(const std::shared_ptr<Session> &session)
     // The pipelined schedule's task graph dispatches on the shared pool;
     // its GraphRunner waits on its own TaskGroup, so concurrent sessions
     // never steal each other's completion signal.
-    RemoteReport report = analyzeStreaming(session->spec, trace, pool_);
+    RemoteReport report =
+        analyzeStreaming(session->spec, trace, pool_, config_.batchMode);
 
     if (telemetry::enabled()) {
         const MuxMetrics &metrics = MuxMetrics::get();

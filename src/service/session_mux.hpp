@@ -63,6 +63,11 @@ struct MuxConfig
     /** Test hook: delay (ms) before the pump decodes each chunk, making
      *  queue-full shedding deterministic in back-pressure tests. */
     int debugPumpDelayMs = 0;
+    /** Server deployment knob: run session analyses with the lifeguards'
+     *  batched (columnar) pass-1 kernels. Reports are bit-identical to
+     *  the scalar kernels, so this is not part of the wire protocol —
+     *  clients cannot observe it. */
+    bool batchMode = false;
 };
 
 /** Verdict of one admission attempt. */
@@ -98,6 +103,20 @@ class SessionMux
 
     SessionMux(const SessionMux &) = delete;
     SessionMux &operator=(const SessionMux &) = delete;
+
+    /**
+     * Budget charge for @p n decoded events. The pump makes one
+     * accounting call per drained chunk with the *net* delta — this
+     * charge minus the raw-byte credit — so admission math and tests
+     * must agree on the per-event footprint; the assert pins it.
+     */
+    static constexpr std::size_t
+    decodedEventBytes(std::size_t n)
+    {
+        static_assert(sizeof(Event) == 40,
+                      "Event grew: retune SessionMux byte budgets");
+        return n * sizeof(Event);
+    }
 
     /** Admit a new session. @return its id. */
     std::uint64_t open(const SessionSpec &spec);

@@ -1,0 +1,30 @@
+#include "trace/block_batch.hpp"
+
+namespace bfly {
+
+void
+BlockBatch::assign(const BlockView &block)
+{
+    epoch = block.epoch;
+    thread = block.thread;
+    first = block.first;
+
+    const std::size_t n = block.size();
+    kinds.resize(n);
+    nsrc.resize(n);
+    sizes.resize(n);
+    addrs.resize(n);
+    src0.resize(n);
+    src1.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Event &e = block.events[i];
+        kinds[i] = e.kind;
+        nsrc[i] = e.nsrc;
+        sizes[i] = e.size;
+        addrs[i] = e.addr;
+        src0[i] = e.src0;
+        src1[i] = e.src1;
+    }
+}
+
+} // namespace bfly

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Columnar (structure-of-arrays) view of one block's events.
+ *
+ * The decoder and slicer hand analysis code an AoS `Event` walk: 40
+ * bytes per event, of which a pass-1 kernel typically touches a kind
+ * byte, an address and a size. A BlockBatch transposes a BlockView into
+ * parallel arrays — kinds / sizes / addresses / assign sources — so the
+ * hot lifeguard kernels stream over dense columns instead of striding
+ * through padded structs, and so bulk set-construction (sort by key,
+ * run-length insert) has flat arrays to operate on.
+ *
+ * The transpose is a single linear pass over the block and is reused
+ * across calls via a caller-owned BlockBatch (the vectors keep their
+ * capacity). Batches are derived views: they hold no epoch state and
+ * are valid only as long as the BlockView's underlying events are
+ * resident (EpochLayout storage or an un-retired EpochStream cell).
+ * Identity fields (epoch / thread / first) are carried over so batched
+ * kernels report errors with exactly the same stable event identities
+ * as the scalar walk.
+ */
+
+#ifndef BUTTERFLY_TRACE_BLOCK_BATCH_HPP
+#define BUTTERFLY_TRACE_BLOCK_BATCH_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "trace/epoch_slicer.hpp"
+#include "trace/event.hpp"
+
+namespace bfly {
+
+/**
+ * Stable group-by-key permutation for batched kernels: fills @p order
+ * with a permutation of [0, n) such that equal keys are adjacent, keys
+ * ascend, and original order is preserved within each key. @p key maps
+ * an index to its Addr key; @p scratch is caller-owned bucket storage
+ * (reused across calls).
+ *
+ * Block-local key spaces are usually dense granule ranges, so the fast
+ * path is a counting (radix) partition over [min, max] — two linear
+ * passes, no comparisons — taken whenever the span is at most ~8x the
+ * item count. Scattered key spaces (random soup) fall back to a stable
+ * comparison sort of the indices.
+ */
+template <typename KeyFn>
+void
+groupByKey(std::size_t n, KeyFn &&key, std::vector<std::uint32_t> &scratch,
+           std::vector<std::uint32_t> &order)
+{
+    order.resize(n);
+    if (n == 0)
+        return;
+    Addr lo = key(std::size_t{0});
+    Addr hi = lo;
+    for (std::size_t i = 1; i < n; ++i) {
+        const Addr k = key(i);
+        lo = std::min(lo, k);
+        hi = std::max(hi, k);
+    }
+    const Addr span = hi - lo + 1; // wraps to 0 on the full Addr range
+    if (span != 0 && span <= 8 * static_cast<Addr>(n) + 64) {
+        scratch.assign(static_cast<std::size_t>(span), 0);
+        for (std::size_t i = 0; i < n; ++i)
+            ++scratch[static_cast<std::size_t>(key(i) - lo)];
+        std::uint32_t sum = 0;
+        for (std::uint32_t &c : scratch) {
+            const std::uint32_t count = c;
+            c = sum;
+            sum += count;
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            order[scratch[static_cast<std::size_t>(key(i) - lo)]++] =
+                static_cast<std::uint32_t>(i);
+    } else {
+        std::iota(order.begin(), order.end(), 0u);
+        std::sort(order.begin(), order.end(),
+                  [&](std::uint32_t a, std::uint32_t b) {
+                      const Addr ka = key(a);
+                      const Addr kb = key(b);
+                      return ka != kb ? ka < kb : a < b;
+                  });
+    }
+}
+
+/** SoA transpose of one block (l, t); see file comment for lifetime. */
+struct BlockBatch
+{
+    EpochId epoch = 0;
+    ThreadId thread = 0;
+    /** Per-thread filtered index of event 0 (same as BlockView::first). */
+    std::size_t first = 0;
+
+    // Parallel arrays, all of length size().
+    std::vector<EventKind> kinds;
+    std::vector<std::uint8_t> nsrc;   ///< valid sources (Assign only)
+    std::vector<std::uint16_t> sizes; ///< bytes touched
+    std::vector<Addr> addrs;          ///< destination / accessed address
+    std::vector<Addr> src0;           ///< first source (Assign)
+    std::vector<Addr> src1;           ///< second source (Assign)
+
+    std::size_t size() const { return kinds.size(); }
+    bool empty() const { return kinds.empty(); }
+
+    /**
+     * Repopulate this batch from @p block. Reuses the column vectors'
+     * capacity, so a long-lived batch amortizes to zero allocations.
+     */
+    void assign(const BlockView &block);
+};
+
+} // namespace bfly
+
+#endif // BUTTERFLY_TRACE_BLOCK_BATCH_HPP

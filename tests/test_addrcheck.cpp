@@ -219,6 +219,92 @@ TEST(AddrCheck, ParallelPassesMatchSequential)
     EXPECT_EQ(seq.sosNow().sorted(), par.sosNow().sorted());
 }
 
+TEST(AddrCheck, BatchedKernelBitIdenticalToScalar)
+{
+    // The columnar (SoA) pass-1 kernel is an execution strategy, not a
+    // semantics change: error records (including their order — the log
+    // keeps the first report per event), counters, and the final SOS
+    // must match the scalar walk exactly, on buggy traces under both
+    // memory models.
+    const BugKind kinds[] = {BugKind::UseAfterFree,
+                             BugKind::UnallocatedAccess,
+                             BugKind::DoubleFree};
+    const MemModel models[] = {MemModel::SequentiallyConsistent,
+                               MemModel::TSO};
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        for (MemModel model : models) {
+            WorkloadConfig wcfg;
+            wcfg.numThreads = 3;
+            wcfg.instrPerThread = 1500;
+            wcfg.seed = seed;
+            Workload w = makeRandomMix(wcfg);
+            Rng bug_rng(seed ^ 0xbeef);
+            injectBugs(w, kinds[seed % 3], 4, bug_rng);
+
+            Rng rng(seed * 31 + 7);
+            InterleaveConfig icfg;
+            icfg.model = model;
+            Trace trace = interleave(w.programs, icfg, rng);
+            EpochLayout layout =
+                EpochLayout::byGlobalSeq(trace, 100 * wcfg.numThreads);
+
+            AddrCheckConfig cfg;
+            cfg.heapBase = w.heapBase;
+            cfg.heapLimit = w.heapLimit + 0x100000;
+
+            ButterflyAddrCheck scalar(layout, cfg);
+            WindowSchedule(false).run(layout, scalar);
+            ButterflyAddrCheck batched(layout, cfg);
+            batched.setBatchMode(true);
+            WindowSchedule(false).run(layout, batched);
+
+            const auto &sr = scalar.errors().records();
+            const auto &br = batched.errors().records();
+            ASSERT_EQ(sr.size(), br.size()) << "seed " << seed;
+            for (std::size_t i = 0; i < sr.size(); ++i) {
+                EXPECT_EQ(sr[i].tid, br[i].tid) << "record " << i;
+                EXPECT_EQ(sr[i].index, br[i].index) << "record " << i;
+                EXPECT_EQ(sr[i].addr, br[i].addr) << "record " << i;
+                EXPECT_EQ(sr[i].kind, br[i].kind) << "record " << i;
+                EXPECT_EQ(sr[i].size, br[i].size) << "record " << i;
+            }
+            EXPECT_EQ(scalar.eventsChecked(), batched.eventsChecked());
+            EXPECT_EQ(scalar.isolationViolations(),
+                      batched.isolationViolations());
+            EXPECT_EQ(scalar.sosNow().sorted(),
+                      batched.sosNow().sorted());
+        }
+    }
+}
+
+TEST(AddrCheck, BatchedKernelComposesWithParallelPasses)
+{
+    // batchMode changes only what happens inside pass 1, so it must
+    // compose with the parallel scheduling dimension unchanged.
+    WorkloadConfig wcfg;
+    wcfg.numThreads = 4;
+    wcfg.instrPerThread = 2000;
+    wcfg.seed = 99;
+    Workload w = makeRandomMix(wcfg);
+    Rng rng(4242);
+    Trace trace = interleave(w.programs, InterleaveConfig{}, rng);
+    EpochLayout layout = EpochLayout::byGlobalSeq(trace, 128 * 4);
+
+    AddrCheckConfig cfg;
+    cfg.heapBase = w.heapBase;
+    cfg.heapLimit = w.heapLimit;
+
+    ButterflyAddrCheck seq(layout, cfg);
+    WindowSchedule(false).run(layout, seq);
+    ButterflyAddrCheck par_batched(layout, cfg);
+    par_batched.setBatchMode(true);
+    WindowSchedule(true).run(layout, par_batched);
+
+    EXPECT_EQ(seq.errors().size(), par_batched.errors().size());
+    EXPECT_EQ(seq.eventsChecked(), par_batched.eventsChecked());
+    EXPECT_EQ(seq.sosNow().sorted(), par_batched.sosNow().sorted());
+}
+
 // --------------------------------------------------------------------
 // Theorem 6.1: zero false negatives, SC and TSO, with injected bugs.
 // --------------------------------------------------------------------

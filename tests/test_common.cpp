@@ -215,6 +215,113 @@ TEST(FlatSet, AlgebraMatchesUnorderedSetModel)
     }
 }
 
+TEST(FlatSet, InsertBulkMatchesPerElementInsert)
+{
+    // Property test across both storage regimes and input shapes: a
+    // bulk insert must leave the set in exactly the state a
+    // per-element insert loop would, for sorted, unsorted, and
+    // duplicate-heavy inputs.
+    Rng rng(0xb01d);
+    for (int trial = 0; trial < 40; ++trial) {
+        const std::size_t pre = rng.below(12);   // some trials inline
+        const std::size_t n = rng.below(trial % 4 == 0 ? 6 : 300);
+        const Addr universe = 1 + rng.below(100);
+
+        AddrSet bulk, scalar;
+        for (std::size_t i = 0; i < pre; ++i) {
+            const Addr k = rng.below(universe);
+            bulk.insert(k);
+            scalar.insert(k);
+        }
+        std::vector<Addr> keys;
+        for (std::size_t i = 0; i < n; ++i) {
+            Addr k = rng.below(universe);
+            if (rng.chance(0.03))
+                k = kNoAddr; // sentinel must survive the bulk path
+            keys.push_back(k);
+        }
+        if (trial % 2 == 0)
+            std::sort(keys.begin(), keys.end()); // run-length dedupe path
+
+        bulk.insertBulk(keys);
+        for (Addr k : keys)
+            scalar.insert(k);
+        ASSERT_EQ(bulk.size(), scalar.size()) << "trial " << trial;
+        EXPECT_EQ(bulk.sorted(), scalar.sorted()) << "trial " << trial;
+    }
+}
+
+TEST(FlatSet, InsertBulkIntoInlineBufferStaysInline)
+{
+    // A bulk insert that fits the 8-key inline buffer must not force a
+    // table migration, and duplicates must not inflate the size.
+    AddrSet s;
+    const std::vector<Addr> keys{3, 3, 1, 4, 1, 5};
+    s.insertBulk(keys);
+    EXPECT_EQ(s.size(), 4u);
+    EXPECT_EQ(s.sorted(), (std::vector<Addr>{1, 3, 4, 5}));
+    s.insertBulk(std::vector<Addr>{5, 6, 7, 8});
+    EXPECT_EQ(s.size(), 7u);
+}
+
+TEST(FlatSet, ContainsBulkCountsLikePerElementLoop)
+{
+    // containsBulk must equal the sum of per-element contains() —
+    // duplicates in the query each count, present or not.
+    Rng rng(0xcb17);
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::size_t n = rng.below(trial % 3 == 0 ? 8 : 200);
+        const Addr universe = 1 + rng.below(80);
+        AddrSet s;
+        for (std::size_t i = 0; i < n; ++i)
+            s.insert(rng.below(universe));
+        if (rng.chance(0.2))
+            s.insert(kNoAddr);
+
+        std::vector<Addr> query;
+        const std::size_t q = rng.below(150);
+        for (std::size_t i = 0; i < q; ++i) {
+            Addr k = rng.below(universe + 20); // some misses
+            if (rng.chance(0.05))
+                k = kNoAddr;
+            query.push_back(k);
+        }
+        if (trial % 2 == 0)
+            std::sort(query.begin(), query.end()); // probe-reuse path
+
+        std::size_t expected = 0;
+        for (Addr k : query)
+            expected += s.contains(k) ? 1 : 0;
+        EXPECT_EQ(s.containsBulk(query), expected) << "trial " << trial;
+    }
+}
+
+TEST(FlatSet, InsertBulkAfterBackwardShiftErase)
+{
+    // Backward-shift erase compacts probe chains; a subsequent bulk
+    // insert must still find the right slots (no stranded or duplicate
+    // entries), including re-inserting the erased keys themselves.
+    AddrSet sut;
+    std::unordered_set<Addr> model;
+    Rng rng(0xe7a5);
+    std::vector<Addr> keys;
+    for (int i = 0; i < 300; ++i)
+        keys.push_back(rng.next() % 512); // collision-heavy universe
+    sut.insertBulk(keys);
+    for (Addr k : keys)
+        model.insert(k);
+    for (std::size_t i = 0; i < keys.size(); i += 3) {
+        sut.erase(keys[i]);
+        model.erase(keys[i]);
+    }
+    sut.insertBulk(keys); // everything back in
+    for (Addr k : keys)
+        model.insert(k);
+    std::vector<Addr> expected(model.begin(), model.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(sut.sorted(), expected);
+}
+
 TEST(FlatSet, BackwardShiftEraseKeepsProbeChainsIntact)
 {
     // Adversarial pattern for linear probing: long runs of keys, erased
@@ -336,6 +443,85 @@ TEST(ShadowMemory, LastPageCacheStaysCoherent)
     EXPECT_EQ(shadow.get(0x5000), 0);
     shadow.set(0x5000, 9);
     EXPECT_EQ(shadow.get(0x5000), 9);
+}
+
+TEST(ShadowMemory, ForEachCoalescedRunSplitsAtGaps)
+{
+    auto runs_of = [](std::vector<Addr> sorted) {
+        std::vector<std::pair<Addr, std::size_t>> runs;
+        forEachCoalescedRun(sorted, [&](Addr base, std::size_t len) {
+            runs.emplace_back(base, len);
+        });
+        return runs;
+    };
+    using Runs = std::vector<std::pair<Addr, std::size_t>>;
+    EXPECT_EQ(runs_of({}), Runs{});
+    EXPECT_EQ(runs_of({7}), (Runs{{7, 1}}));
+    EXPECT_EQ(runs_of({1, 2, 3, 7, 8, 20}),
+              (Runs{{1, 3}, {7, 2}, {20, 1}}));
+    // Duplicates collapse into their run rather than splitting it.
+    EXPECT_EQ(runs_of({4, 4, 5, 5, 5, 6, 9}), (Runs{{4, 3}, {9, 1}}));
+}
+
+TEST(ShadowMemory, SetSortedMatchesPerElementSet)
+{
+    // Property test: setSorted over a random sorted key list must leave
+    // the map identical to per-element set(), including runs that
+    // straddle the 4096-entry page boundary.
+    Rng rng(0x5e75);
+    for (int trial = 0; trial < 20; ++trial) {
+        ShadowMemory<std::uint8_t> bulk(0), scalar(0);
+        std::vector<Addr> keys;
+        const std::size_t n = rng.below(400);
+        // Cluster keys around a page boundary to force straddles.
+        const Addr base = 4096 - 64 + rng.below(16);
+        for (std::size_t i = 0; i < n; ++i)
+            keys.push_back(base + rng.below(160));
+        std::sort(keys.begin(), keys.end());
+
+        bulk.setSorted(keys, 9);
+        for (Addr k : keys)
+            scalar.set(k, 9);
+        for (Addr a = base - 8; a < base + 180; ++a)
+            ASSERT_EQ(bulk.get(a), scalar.get(a))
+                << "trial " << trial << " addr " << a;
+        EXPECT_EQ(bulk.allocatedPages(), scalar.allocatedPages())
+            << "trial " << trial;
+    }
+}
+
+TEST(ShadowMemory, CountEqualSortedMatchesPerElementGets)
+{
+    ShadowMemory<std::uint8_t> shadow(0);
+    shadow.setRange(4090, 12, 3); // straddles pages 0 and 1
+    shadow.set(5000, 3);
+
+    const std::vector<Addr> query{4088, 4089, 4090, 4091, 4100,
+                                  4101, 4102, 5000, 5000, 6000};
+    std::size_t expected = 0;
+    for (Addr a : query)
+        expected += shadow.get(a) == 3 ? 1 : 0;
+    EXPECT_EQ(expected, 6u); // 4090, 4091, 4100, 4101, and 5000 twice
+    EXPECT_EQ(shadow.countEqualSorted(query, 3), expected);
+    EXPECT_EQ(shadow.countEqualSorted(query, 0),
+              query.size() - expected);
+}
+
+TEST(ShadowMemory, SortedOpsKeepLastPageCacheCoherent)
+{
+    // A one-entry last-page cache sits under get(); the coalesced bulk
+    // writes must not let it serve stale values.
+    ShadowMemory<std::uint8_t> shadow(0);
+    EXPECT_EQ(shadow.get(0x3000), 0); // cache the "absent page" result
+    const std::vector<Addr> run{0x3000, 0x3001, 0x3002};
+    shadow.setSorted(run, 5);
+    EXPECT_EQ(shadow.get(0x3000), 5);
+    EXPECT_EQ(shadow.countEqualSorted(run, 5), 3u);
+    // Single-element runs go through set(), longer ones via setRange;
+    // interleave both on the same page.
+    shadow.setSorted(std::vector<Addr>{0x3005}, 7);
+    EXPECT_EQ(shadow.get(0x3005), 7);
+    EXPECT_EQ(shadow.get(0x3001), 5);
 }
 
 TEST(SimHeap, AllocateAndFree)

@@ -169,7 +169,7 @@ TEST(DifferentialRunner, InjectedAllModesBugBecomesFalseNegative)
     cfg.fault.enabled = true;
     cfg.fault.target = Lifeguard::AddrCheck;
     cfg.fault.dropKind = ErrorKind::UnallocatedAccess;
-    cfg.fault.modeMask = 0xF; // every mode: a true lifeguard bug
+    cfg.fault.modeMask = kAllModesMask; // every mode: a true lifeguard bug
     const DifferentialRunner runner(cfg);
 
     const CaseOutcome outcome = runner.run(rogueCase(16));
@@ -187,7 +187,7 @@ TEST(TraceMinimizer, ShrinksInjectedBugToSmallRepro)
     cfg.fault.enabled = true;
     cfg.fault.target = Lifeguard::AddrCheck;
     cfg.fault.dropKind = ErrorKind::UnallocatedAccess;
-    cfg.fault.modeMask = 0xF;
+    cfg.fault.modeMask = kAllModesMask;
     const DifferentialRunner runner(cfg);
 
     const FuzzCase failing = rogueCase(120); // ~123 events of chaff

@@ -494,6 +494,38 @@ TEST(SessionMuxTest, ChargesDecodedEventsAtPinnedEventSize)
     EXPECT_EQ(mux.globalBytes(), 0u) << "budget leaked on completion";
 }
 
+TEST(SessionMuxTest, BatchModeAgreesWithScalarAccountingAndReport)
+{
+    // Agreement test for the per-batch byte charging: the decoded-event
+    // charge is one decodedEventBytes() call per chunk, so a batched
+    // mux (columnar pass-1 kernels) and a scalar mux must agree on
+    // both the report fingerprint and every byte-accounting observable.
+    ASSERT_EQ(SessionMux::decodedEventBytes(7), 7u * sizeof(Event));
+
+    const Addr heap = 0x400000;
+    const Trace marked = makeMarkedTrace(2, 4, 48, heap);
+    const SessionSpec spec = addrcheckSpec(marked, heap);
+
+    WorkerPool pool(2);
+    MuxConfig scalar_cfg;
+    SessionMux scalar_mux(pool, scalar_cfg, [] {});
+    MuxConfig batch_cfg;
+    batch_cfg.batchMode = true;
+    SessionMux batch_mux(pool, batch_cfg, [] {});
+
+    const MuxRun scalar_run =
+        runThroughMux(scalar_mux, spec, marked, 64);
+    const MuxRun batch_run = runThroughMux(batch_mux, spec, marked, 64);
+    ASSERT_TRUE(scalar_run.completed && !scalar_run.result.failed);
+    ASSERT_TRUE(batch_run.completed && !batch_run.result.failed);
+
+    EXPECT_TRUE(batch_run.result.report.identical(scalar_run.result
+                                                      .report))
+        << "batch mode changed the report";
+    EXPECT_EQ(scalar_mux.globalBytes(), 0u) << "scalar budget leaked";
+    EXPECT_EQ(batch_mux.globalBytes(), 0u) << "batched budget leaked";
+}
+
 // ---------------------------------------------------------------- loopback
 
 TEST(MonitorService, LoopbackConformanceAcrossLifeguards)
