@@ -1,7 +1,7 @@
 /**
  * @file
- * Monitoring-service throughput: sessions x chunk-size sweep over a
- * loopback Unix-domain socket.
+ * Monitoring-service throughput: sessions x chunk-size sweep plus a
+ * reactor-shard scaling group over a loopback Unix-domain socket.
  *
  * Each configuration starts one MonitorServer, then N client threads
  * each replay the same heartbeat-marked synthetic trace through full
@@ -85,6 +85,7 @@ struct SweepResult
 {
     std::size_t sessions = 0;
     std::size_t chunkBytes = 0;
+    std::size_t shards = 1;
     std::size_t traces = 0;
     std::uint64_t events = 0;
     std::uint64_t busyRetries = 0;
@@ -104,15 +105,17 @@ SweepResult
 benchConfig(std::size_t sessions, std::size_t chunk_bytes,
             std::size_t traces_per_session, const Trace &marked,
             const SessionSpec &spec, const RemoteReport &reference,
-            bool batch)
+            bool batch, std::size_t shards = 1)
 {
     ServerConfig scfg;
     scfg.unixPath = "/tmp/bfly-bench-" + std::to_string(::getpid()) +
                     "-" + std::to_string(sessions) + "-" +
-                    std::to_string(chunk_bytes) + ".sock";
+                    std::to_string(chunk_bytes) + "-" +
+                    std::to_string(shards) + ".sock";
     // Server-side batched kernels; the reference report stays scalar,
     // so the conformance check doubles as a batch bit-identity check.
     scfg.mux.batchMode = batch;
+    scfg.shards = shards;
     MonitorServer server(scfg);
     if (!server.start()) {
         std::fprintf(stderr, "bench_service: bind failed\n");
@@ -122,6 +125,7 @@ benchConfig(std::size_t sessions, std::size_t chunk_bytes,
     SweepResult r;
     r.sessions = sessions;
     r.chunkBytes = chunk_bytes;
+    r.shards = shards;
     std::atomic<std::uint64_t> busy{0}, mismatches{0}, failures{0};
     std::atomic<std::uint64_t> latencyUs{0};
 
@@ -228,6 +232,40 @@ main(int argc, char **argv)
         }
     }
 
+    // Shard-scaling group: same load, varying reactor count. On a
+    // multi-core runner 2 shards should beat 1; on a single hardware
+    // thread the useful assertion is "not slower" — the ratio lands in
+    // the JSON so CI can hold the floor it calibrated for its runner.
+    const std::size_t shard_sessions = quick ? 4 : 8;
+    const std::vector<std::size_t> shard_counts =
+        quick ? std::vector<std::size_t>{1, 2}
+              : std::vector<std::size_t>{1, 2, 4};
+    double shard1EventsPerSec = 0, shard2EventsPerSec = 0;
+    for (std::size_t shards : shard_counts) {
+        const SweepResult r =
+            benchConfig(shard_sessions, 64 * 1024, traces_per_session,
+                        marked, spec, reference, batch, shards);
+        results.push_back(r);
+        std::printf("%-22s %10.3f %12.0f %12.3f %8llu%s\n",
+                    ("s" + std::to_string(shard_sessions) + "_sh" +
+                     std::to_string(shards))
+                        .c_str(),
+                    r.wallSecs, r.eventsPerSec(), r.meanLatencyMs,
+                    static_cast<unsigned long long>(r.busyRetries),
+                    r.mismatches + r.failures ? "  CONFORMANCE FAIL"
+                                              : "");
+        if (r.mismatches + r.failures)
+            clean = false;
+        if (shards == 1)
+            shard1EventsPerSec = r.eventsPerSec();
+        else if (shards == 2)
+            shard2EventsPerSec = r.eventsPerSec();
+    }
+    const double shardRatio =
+        shard1EventsPerSec > 0 ? shard2EventsPerSec / shard1EventsPerSec
+                               : 0.0;
+    std::printf("shard scaling 2-vs-1: %.3fx\n", shardRatio);
+
     // Write-then-rename, like JsonRecorder: never leave a torn file.
     const std::string path =
         bfly::bench::benchJsonDir() + "/BENCH_bench_service.json";
@@ -239,18 +277,21 @@ main(int argc, char **argv)
     }
     std::fprintf(f,
                  "{\n  \"bench\": \"bench_service\",\n  \"quick\": %s,\n"
-                 "  \"batch\": %s,\n  \"sweep\": [\n",
-                 quick ? "true" : "false", batch ? "true" : "false");
+                 "  \"batch\": %s,\n  \"shard_ratio_2v1\": %.3f,\n"
+                 "  \"sweep\": [\n",
+                 quick ? "true" : "false", batch ? "true" : "false",
+                 shardRatio);
     for (std::size_t i = 0; i < results.size(); ++i) {
         const SweepResult &r = results[i];
         std::fprintf(
             f,
             "    {\"sessions\": %zu, \"chunk_bytes\": %zu, "
+            "\"shards\": %zu, "
             "\"traces\": %zu, \"events\": %llu, \"wall_seconds\": %.6f, "
             "\"events_per_sec\": %.0f, \"mean_latency_ms\": %.3f, "
             "\"busy_retries\": %llu, \"mismatches\": %llu, "
             "\"failures\": %llu}%s\n",
-            r.sessions, r.chunkBytes, r.traces,
+            r.sessions, r.chunkBytes, r.shards, r.traces,
             static_cast<unsigned long long>(r.events), r.wallSecs,
             r.eventsPerSec(), r.meanLatencyMs,
             static_cast<unsigned long long>(r.busyRetries),

@@ -77,6 +77,7 @@ struct Options
     bool quiet = false;
     bool chaos = false;
     std::uint64_t budgetSec = 30;
+    std::size_t shards = 1; ///< in-process server only
 };
 
 struct Tally
@@ -92,6 +93,17 @@ struct Tally
     std::atomic<std::uint64_t> kills{0};
     std::atomic<std::uint64_t> churns{0};
     std::atomic<std::uint64_t> skews{0};
+    /** Highest shard count any SessionAccept reported (0 = none seen). */
+    std::atomic<std::uint64_t> serverShards{0};
+
+    void
+    noteServerShards(std::uint64_t n)
+    {
+        std::uint64_t cur = serverShards.load(std::memory_order_relaxed);
+        while (n > cur && !serverShards.compare_exchange_weak(
+                              cur, n, std::memory_order_relaxed))
+            ;
+    }
 };
 
 void
@@ -102,6 +114,7 @@ usage(std::ostream &out)
         << "  --tcp PORT       connect to loopback TCP\n"
         << "                   (neither: in-process server is started)\n"
         << "  --sessions N     concurrent client connections (default 4)\n"
+        << "  --shards N       reactor shards for the in-process server\n"
         << "  --traces M       total fuzzer traces to replay (default 50)\n"
         << "  --seed S|from-run-id  fuzzer seed (from-run-id derives\n"
         << "                   it from $GITHUB_RUN_ID, else the clock)\n"
@@ -227,6 +240,7 @@ runConformanceCase(const Options &opt, fuzz::TraceFuzzer &fuzzer,
     tally.busyRetries.fetch_add(remote.busyRetries);
     tally.events.fetch_add(trace.instructionCount());
     tally.records.fetch_add(local.records.size());
+    tally.noteServerShards(remote.serverShards);
 
     if (!remote.ok) {
         tally.failures.fetch_add(1);
@@ -440,6 +454,13 @@ main(int argc, char **argv)
             opt.tcpPort = static_cast<std::uint16_t>(std::atoi(value()));
         } else if (arg == "--sessions")
             opt.sessions = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--shards") {
+            opt.shards = std::strtoull(value(), nullptr, 10);
+            if (opt.shards == 0) {
+                std::cerr << "bfly_loadgen: --shards must be > 0\n";
+                return 2;
+            }
+        }
         else if (arg == "--traces")
             opt.traces = std::strtoull(value(), nullptr, 10);
         else if (arg == "--seed") {
@@ -498,6 +519,7 @@ main(int argc, char **argv)
         ServerConfig scfg;
         scfg.unixPath =
             "/tmp/bfly-loadgen-" + std::to_string(::getpid()) + ".sock";
+        scfg.shards = opt.shards;
         inProcess = std::make_unique<MonitorServer>(scfg);
         if (!inProcess->start()) {
             std::cerr << "loadgen: failed to start in-process server\n";
@@ -536,6 +558,7 @@ main(int argc, char **argv)
 
     std::ostringstream json;
     json << "{\"sessions\": " << opt.sessions
+         << ", \"shards\": " << tally.serverShards.load()
          << ", \"seed\": " << opt.seed
          << ", \"traces\": " << tally.traces.load()
          << ", \"mismatches\": " << tally.mismatches.load()

@@ -3,8 +3,8 @@
  * bfly_serve: run the multi-tenant butterfly monitoring daemon.
  *
  *   bfly_serve --unix /tmp/bfly.sock [--tcp PORT] [--workers N]
- *              [--queue-kb K] [--budget-mb M] [--session-mb M]
- *              [--idle-ms T] [--quiet]
+ *              [--shards N] [--reuseport] [--queue-kb K]
+ *              [--budget-mb M] [--session-mb M] [--idle-ms T] [--quiet]
  *
  * Listens until SIGINT/SIGTERM, then prints a one-line stats summary.
  * Clients speak the wire protocol in src/service/wire.hpp; the stock
@@ -43,6 +43,8 @@ usage()
               << "  --unix PATH     Unix-domain socket to listen on\n"
               << "  --tcp PORT      loopback TCP port (0 = ephemeral)\n"
               << "  --workers N     worker pool size (0 = hw threads)\n"
+              << "  --shards N      reactor event loops (default 1)\n"
+              << "  --reuseport     per-shard SO_REUSEPORT TCP listeners\n"
               << "  --queue-kb K    per-session ingest queue (KiB)\n"
               << "  --budget-mb M   server-wide byte budget (MiB)\n"
               << "  --session-mb M  hard per-session cap (MiB)\n"
@@ -75,6 +77,14 @@ main(int argc, char **argv)
                 static_cast<std::uint16_t>(std::atoi(value()));
         } else if (arg == "--workers")
             config.workers = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--shards") {
+            config.shards = std::strtoull(value(), nullptr, 10);
+            if (config.shards == 0) {
+                std::cerr << "bfly_serve: --shards must be > 0\n";
+                return 2;
+            }
+        } else if (arg == "--reuseport")
+            config.tcpReusePort = true;
         else if (arg == "--queue-kb")
             config.mux.sessionQueueBytes =
                 std::strtoull(value(), nullptr, 10) * 1024;
@@ -111,7 +121,7 @@ main(int argc, char **argv)
             std::cout << " unix=" << config.unixPath;
         if (config.tcp)
             std::cout << " tcp=127.0.0.1:" << server.tcpPort();
-        std::cout << std::endl;
+        std::cout << " shards=" << server.shards() << std::endl;
     }
 
     std::signal(SIGINT, onSignal);
@@ -124,5 +134,14 @@ main(int argc, char **argv)
               << " failed=" << server.sessionsFailed()
               << " busy_sent=" << server.busySent()
               << " partial=" << server.partialReports() << std::endl;
+    for (const ShardStats &s : server.shardStats())
+        std::cout << "bfly_serve: shard=" << s.shard
+                  << " assigned=" << s.sessionsAssigned
+                  << " completed=" << s.completed
+                  << " busy_sent=" << s.busySent
+                  << " steals=" << s.budgetSteals
+                  << " stolen_bytes=" << s.budgetStolenBytes
+                  << " donated_bytes=" << s.budgetDonatedBytes
+                  << std::endl;
     return 0;
 }

@@ -148,7 +148,10 @@ class StreamSource final : public PipelineSource
  *   P2(l,t) <- P1(l+1,u), u != t, l+1 < L (the wings; excluding the
  *                                          block's own thread is what
  *                                          lets a heavy thread's pass 2
- *                                          overlap its own next pass 1)
+ *                                          overlap its own next pass 1;
+ *                                          u == t is added too when the
+ *                                          driver declares
+ *                                          pass2ReadsOwnNextPass1())
  *   F(l)    <- F(l-1)            l >= 1   (SOS is single-writer, epoch
  *                                          order)
  *   F(l)    <- P2(l,t) for all t          [strict drivers only]
@@ -181,7 +184,8 @@ class GraphRunner
                 WorkerPool &pool)
         : source_(source), driver_(driver), pool_(pool),
           L_(source.numEpochs()), T_(source.numThreads()),
-          strict_(driver.finalizeAfterPass2()), p1Base_(L_ + 1),
+          strict_(driver.finalizeAfterPass2()),
+          ownNextP1_(driver.pass2ReadsOwnNextPass1()), p1Base_(L_ + 1),
           p2Base_(p1Base_ + L_ * T_), fBase_(p2Base_ + L_ * T_),
           rBase_(fBase_ + L_), total_(rBase_ + L_),
           traced_(telemetry::enabled()),
@@ -266,7 +270,7 @@ class GraphRunner
                 addEdge(p2Id(l, t), aId(l + 1));
                 if (l + 1 < L_)
                     for (std::size_t u = 0; u < T_; ++u)
-                        if (u != t)
+                        if (u != t || ownNextP1_)
                             addEdge(p2Id(l, t), p1Id(l + 1, u));
             }
         }
@@ -377,6 +381,7 @@ class GraphRunner
     const std::size_t L_;
     const std::size_t T_;
     const bool strict_;
+    const bool ownNextP1_;
     const std::size_t p1Base_;
     const std::size_t p2Base_;
     const std::size_t fBase_;

@@ -246,19 +246,25 @@ ButterflyAddrLeak::finalizeEpoch(EpochId l)
     const AddrSet &wm = ensureWindowMay(l);
     const std::size_t nthreads = states_.size();
 
-    // May-gen: ANY rule of the epoch that could taint the cell — not
-    // just each thread's last write. This is deliberately weaker than
-    // the per-interleaving truth and is what makes the fold monotone
-    // in the epoch size: splitting an epoch never admits a taint the
-    // unsplit fold rejects.
+    // May-gen: each thread's LAST rule per cell, resolved against the
+    // window may-set. The value a cell carries out of the epoch is the
+    // last write to it in the true interleaving, and within a thread a
+    // later rule always overwrites an earlier one — so the epoch-final
+    // rule is necessarily some thread's last rule for the cell, and
+    // folding only those is sound. Mid-epoch taints still reach the
+    // fold through copies: their liveness is judged under WM_l, which
+    // keeps any-rule semantics. Folding every rule instead (an earlier
+    // revision did) breaks FP(H) <= FP(4H): a gen the same thread kills
+    // later in the epoch stays in the SOS forever at fine H, while a
+    // coarse H resolves the sink exactly in-block and stays quiet.
     AddrSet gen;
     for (ThreadId t = 0; t < nthreads; ++t) {
         const BlockState *s = slotIfValid(l, t);
         if (!s)
             continue;
-        for (const Rule &r : s->rules)
-            if (mayTaint(r, wm))
-                gen.insert(r.dst);
+        for (const auto &[key, idxs] : s->rulesByKey)
+            if (mayTaint(s->rules[idxs.back()], wm))
+                gen.insert(key);
     }
 
     // Must-kill: every thread that wrote the cell ended on a kill.

@@ -20,11 +20,12 @@
  *    resolution that walks the thread's own preceding rules exactly
  *    and admits wing interference in between — "may be tainted" under
  *    *some* interleaving of the window flags the sink;
- *  - finalizeEpoch folds the epoch into the SOS with may-gen (ANY rule
- *    of the epoch that could taint the cell — not just the last one,
- *    which is what makes FP(H) <= FP(4H) hold: a coarser window's
- *    fold admits every taint a finer one does) and must-kill (every
- *    thread that wrote the cell ended on a kill).
+ *  - finalizeEpoch folds the epoch into the SOS with may-gen (each
+ *    thread's LAST rule per cell, judged under WM — the epoch-final
+ *    write is always some thread's last rule, and folding anything
+ *    more keeps same-epoch gen-then-kill cells alive forever, which
+ *    inverts FP(H) <= FP(4H)) and must-kill (every thread that wrote
+ *    the cell ended on a kill).
  *
  * Zero false negatives: a true leak has a gen/copy chain to the sink
  * in the real interleaving; every link is either >= 2 epochs old
@@ -35,7 +36,11 @@
  * size, which the fuzzer's FpMonotonicity invariant checks.
  *
  * Like TAINTCHECK this driver is strict (finalizeAfterPass2() ==
- * true): pass 2 reads the SOS snapshot finalizeEpoch advances.
+ * true): pass 2 reads the SOS snapshot finalizeEpoch advances. Unlike
+ * TAINTCHECK, the WM_l fixpoint pass 2 computes folds epoch l+1 rules
+ * of EVERY thread — the body thread included — so the driver also
+ * declares pass2ReadsOwnNextPass1() and the pipelined schedule orders
+ * P2(l,t) after P1(l+1,t) instead of letting them overlap.
  */
 
 #ifndef BUTTERFLY_LIFEGUARDS_ADDRLEAK_HPP
@@ -87,6 +92,7 @@ class ButterflyAddrLeak : public AnalysisDriver
     void pass1(const BlockView &block) override;
     void pass2(const BlockView &block) override;
     void finalizeEpoch(EpochId l) override;
+    bool pass2ReadsOwnNextPass1() const override { return true; }
 
     const ErrorLog &errors() const { return errors_; }
 

@@ -217,7 +217,17 @@ MonitorClient::run(const SessionSpec &spec, const Trace &marked_trace)
                 return result;
             }
             switch (frame.type) {
-              case FrameType::SessionAccept:
+              case FrameType::SessionAccept: {
+                SessionAcceptInfo accept;
+                if (decodeSessionAccept(frame.payload, accept) !=
+                    DecodeStatus::Ok) {
+                    result.error = "bad SessionAccept frame";
+                    return result;
+                }
+                result.sessionId = accept.sessionId;
+                result.serverShards = accept.shardCount;
+                break;
+              }
               case FrameType::Heartbeat:
                 break;
               case FrameType::Busy: {

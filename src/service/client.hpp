@@ -42,6 +42,8 @@ struct RunResult
     SummaryInfo summary;   ///< final frame (valid when ok)
     RemoteReport report;   ///< records/sos/fingerprint as streamed
     std::uint64_t busyRetries = 0; ///< Busy rewinds survived
+    std::uint64_t serverShards = 0; ///< reactor count from SessionAccept
+    std::uint64_t sessionId = 0;    ///< id from SessionAccept (0 if none)
 };
 
 /** One frame (header + payload) as a contiguous byte vector. */

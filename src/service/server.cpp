@@ -47,22 +47,46 @@ defaultWorkers(std::size_t configured)
 
 } // namespace
 
+std::size_t
+MonitorServer::shardOfSession(std::uint64_t session_id, std::size_t shards)
+{
+    if (shards <= 1)
+        return 0;
+    // splitmix64 finalizer: adjacent ids land on well-spread shards.
+    std::uint64_t x = session_id + 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x % shards);
+}
+
 MonitorServer::MonitorServer(ServerConfig config)
-    : config_(std::move(config)), pool_(defaultWorkers(config_.workers)),
-      mux_(pool_, config_.mux, [this] { wake(); })
-{}
+    : config_(std::move(config)), pool_(defaultWorkers(config_.workers))
+{
+    if (config_.shards == 0)
+        config_.shards = 1;
+}
 
 MonitorServer::~MonitorServer()
 {
     stop();
+    // Reactor teardown: the mux drains its in-flight jobs (which may
+    // still poke the wake pipe) before the pipe fds close.
+    for (auto &r : reactors_) {
+        r->mux.reset();
+        for (int fd : {r->wakeFds[0], r->wakeFds[1], r->tcpFd})
+            if (fd >= 0)
+                ::close(fd);
+    }
+    reactors_.clear();
 }
 
 void
-MonitorServer::wake()
+MonitorServer::wake(Reactor &r)
 {
-    if (wakeFds_[1] >= 0) {
+    if (r.wakeFds[1] >= 0) {
         const char byte = 1;
-        [[maybe_unused]] ssize_t n = ::write(wakeFds_[1], &byte, 1);
+        [[maybe_unused]] ssize_t n = ::write(r.wakeFds[1], &byte, 1);
     }
 }
 
@@ -71,10 +95,10 @@ MonitorServer::start()
 {
     if (started_)
         return true;
-    if (::pipe(wakeFds_) != 0)
-        return false;
-    setNonBlocking(wakeFds_[0]);
-    setNonBlocking(wakeFds_[1]);
+
+    const std::size_t nshards = config_.shards;
+    const bool reuseport =
+        config_.tcp && config_.tcpReusePort && nshards > 1;
 
     if (!config_.unixPath.empty()) {
         unixFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -94,7 +118,7 @@ MonitorServer::start()
         setNonBlocking(unixFd_);
     }
 
-    if (config_.tcp) {
+    if (config_.tcp && !reuseport) {
         tcpFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
         if (tcpFd_ < 0)
             return false;
@@ -115,8 +139,69 @@ MonitorServer::start()
         setNonBlocking(tcpFd_);
     }
 
+    // (Re)build the reactors. Destroying old ones first drains any
+    // jobs a previous run left in flight and releases their pipes.
+    for (auto &r : reactors_) {
+        r->mux.reset();
+        for (int fd : {r->wakeFds[0], r->wakeFds[1], r->tcpFd})
+            if (fd >= 0)
+                ::close(fd);
+    }
+    reactors_.clear();
+    budgetPool_.spare.store(0, std::memory_order_relaxed);
+
+    const std::size_t total = config_.mux.globalBudgetBytes;
+    const std::size_t base = total / nshards;
+    for (std::size_t i = 0; i < nshards; ++i) {
+        auto r = std::make_unique<Reactor>();
+        r->index = i;
+        if (::pipe(r->wakeFds) != 0)
+            return false;
+        setNonBlocking(r->wakeFds[0]);
+        setNonBlocking(r->wakeFds[1]);
+
+        const std::size_t slice = base + (i == 0 ? total % nshards : 0);
+        Reactor *rp = r.get();
+        r->mux = std::make_unique<SessionMux>(
+            pool_, config_.mux, [this, rp] { wake(*rp); },
+            nshards > 1 ? slice : 0,
+            nshards > 1 ? &budgetPool_ : nullptr);
+
+        if (reuseport) {
+            r->tcpFd = ::socket(AF_INET, SOCK_STREAM, 0);
+            if (r->tcpFd < 0)
+                return false;
+            const int one = 1;
+            ::setsockopt(r->tcpFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                         sizeof(one));
+            ::setsockopt(r->tcpFd, SOL_SOCKET, SO_REUSEPORT, &one,
+                         sizeof(one));
+            sockaddr_in addr{};
+            addr.sin_family = AF_INET;
+            addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+            // After the first ephemeral bind, siblings join its port.
+            addr.sin_port = htons(boundTcpPort_ > 0 ? boundTcpPort_
+                                                    : config_.tcpPort);
+            if (::bind(r->tcpFd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr)) != 0 ||
+                ::listen(r->tcpFd, 64) != 0)
+                return false;
+            socklen_t len = sizeof(addr);
+            if (boundTcpPort_ == 0 &&
+                ::getsockname(r->tcpFd,
+                              reinterpret_cast<sockaddr *>(&addr),
+                              &len) == 0)
+                boundTcpPort_ = ntohs(addr.sin_port);
+            setNonBlocking(r->tcpFd);
+        }
+        reactors_.push_back(std::move(r));
+    }
+
     stop_.store(false, std::memory_order_release);
-    loop_ = std::thread([this] { eventLoop(); });
+    for (auto &r : reactors_) {
+        Reactor *rp = r.get();
+        r->thread = std::thread([this, rp] { reactorLoop(*rp); });
+    }
     started_ = true;
     return true;
 }
@@ -127,15 +212,27 @@ MonitorServer::stop()
     if (!started_)
         return;
     stop_.store(true, std::memory_order_release);
-    wake();
-    loop_.join();
+    for (auto &r : reactors_)
+        wake(*r);
+    for (auto &r : reactors_)
+        r->thread.join();
     started_ = false;
 
-    for (auto &[fd, conn] : connections_)
-        ::close(fd);
-    connections_.clear();
-    sessionToFd_.clear();
-    for (int *fd : {&unixFd_, &tcpFd_, &wakeFds_[0], &wakeFds_[1]}) {
+    for (auto &r : reactors_) {
+        for (auto &[fd, conn] : r->connections)
+            ::close(fd);
+        r->connections.clear();
+        r->sessionToFd.clear();
+        std::lock_guard<std::mutex> lock(r->handoffMutex);
+        for (auto &[fd, id] : r->handoff)
+            ::close(fd);
+        r->handoff.clear();
+        // Wake pipe and reuseport listener stay open until the next
+        // start() or destruction: in-flight mux jobs may still wake us,
+        // and the aggregate counters must survive a stop() for the CLI
+        // exit stats.
+    }
+    for (int *fd : {&unixFd_, &tcpFd_}) {
         if (*fd >= 0)
             ::close(*fd);
         *fd = -1;
@@ -145,18 +242,22 @@ MonitorServer::stop()
 }
 
 void
-MonitorServer::eventLoop()
+MonitorServer::reactorLoop(Reactor &r)
 {
     std::vector<pollfd> fds;
     while (!stop_.load(std::memory_order_acquire)) {
         fds.clear();
-        fds.push_back({wakeFds_[0], POLLIN, 0});
-        if (unixFd_ >= 0)
-            fds.push_back({unixFd_, POLLIN, 0});
-        if (tcpFd_ >= 0)
-            fds.push_back({tcpFd_, POLLIN, 0});
+        fds.push_back({r.wakeFds[0], POLLIN, 0});
+        if (r.index == 0) {
+            if (unixFd_ >= 0)
+                fds.push_back({unixFd_, POLLIN, 0});
+            if (tcpFd_ >= 0)
+                fds.push_back({tcpFd_, POLLIN, 0});
+        }
+        if (r.tcpFd >= 0)
+            fds.push_back({r.tcpFd, POLLIN, 0});
         const std::size_t firstConn = fds.size();
-        for (auto &[fd, conn] : connections_) {
+        for (auto &[fd, conn] : r.connections) {
             short events = POLLIN;
             if (conn.out.size() > conn.outPos)
                 events |= POLLOUT;
@@ -174,20 +275,22 @@ MonitorServer::eventLoop()
 
         if (fds[0].revents & POLLIN) {
             char buf[256];
-            while (::read(wakeFds_[0], buf, sizeof(buf)) > 0) {
+            while (::read(r.wakeFds[0], buf, sizeof(buf)) > 0) {
             }
         }
-        // Always drain completions: the pipe is only a wake hint.
-        drainCompletions();
+        // Always drain handoffs and completions: the pipe is only a
+        // wake hint.
+        adoptHandoffs(r);
+        drainCompletions(r);
 
         for (std::size_t i = 1; i < firstConn; ++i)
             if (fds[i].revents & POLLIN)
-                acceptAll(fds[i].fd);
+                acceptAll(r, fds[i].fd);
 
         std::vector<int> doomed;
         for (std::size_t i = firstConn; i < fds.size(); ++i) {
-            auto it = connections_.find(fds[i].fd);
-            if (it == connections_.end())
+            auto it = r.connections.find(fds[i].fd);
+            if (it == r.connections.end())
                 continue;
             Connection &conn = it->second;
             if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
@@ -195,7 +298,7 @@ MonitorServer::eventLoop()
                 continue;
             }
             if (fds[i].revents & POLLIN)
-                handleReadable(conn);
+                handleReadable(r, conn);
             if (fds[i].revents & POLLOUT)
                 flush(conn);
             if (conn.fd < 0 ||
@@ -203,30 +306,70 @@ MonitorServer::eventLoop()
                 doomed.push_back(it->first);
         }
         for (int fd : doomed)
-            closeConnection(fd, true);
+            closeConnection(r, fd, true);
 
         if (config_.idleTimeoutMs > 0)
-            checkIdle();
+            checkIdle(r);
+
+        // Idle tick of the budget rebalance: a shard with nothing to
+        // serve returns its excess slice to the shared pool.
+        r.mux->donateIdleBudget();
     }
 }
 
 void
-MonitorServer::acceptAll(int listen_fd)
+MonitorServer::adoptConnection(Reactor &r, int fd, std::uint64_t assigned_id)
+{
+    setNonBlocking(fd);
+    Connection conn;
+    conn.fd = fd;
+    conn.assignedId = assigned_id;
+    conn.lastActivityMs = nowMs();
+    r.connections.emplace(fd, std::move(conn));
+    r.assigned.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+MonitorServer::adoptHandoffs(Reactor &r)
+{
+    std::vector<std::pair<int, std::uint64_t>> pending;
+    {
+        std::lock_guard<std::mutex> lock(r.handoffMutex);
+        pending.swap(r.handoff);
+    }
+    for (auto &[fd, id] : pending)
+        adoptConnection(r, fd, id);
+}
+
+void
+MonitorServer::acceptAll(Reactor &r, int listen_fd)
 {
     for (;;) {
         const int fd = ::accept(listen_fd, nullptr, nullptr);
         if (fd < 0)
             return;
-        setNonBlocking(fd);
-        Connection conn;
-        conn.fd = fd;
-        conn.lastActivityMs = nowMs();
-        connections_.emplace(fd, std::move(conn));
+        const std::uint64_t id =
+            nextSessionId_.fetch_add(1, std::memory_order_relaxed);
+        // A reuseport listener is already the kernel's placement; the
+        // shared listeners place by session-id hash.
+        const std::size_t target =
+            listen_fd == r.tcpFd ? r.index
+                                 : shardOfSession(id, reactors_.size());
+        if (target == r.index) {
+            adoptConnection(r, fd, id);
+            continue;
+        }
+        Reactor &t = *reactors_[target];
+        {
+            std::lock_guard<std::mutex> lock(t.handoffMutex);
+            t.handoff.emplace_back(fd, id);
+        }
+        wake(t);
     }
 }
 
 void
-MonitorServer::handleReadable(Connection &conn)
+MonitorServer::handleReadable(Reactor &r, Connection &conn)
 {
     std::uint8_t buf[kReadChunk];
     for (;;) {
@@ -258,14 +401,14 @@ MonitorServer::handleReadable(Connection &conn)
             conn.wantClose = true;
             return;
         }
-        handleFrame(conn, frame);
+        handleFrame(r, conn, frame);
         if (conn.wantClose)
             return;
     }
 }
 
 void
-MonitorServer::handleFrame(Connection &conn, const Frame &frame)
+MonitorServer::handleFrame(Reactor &r, Connection &conn, const Frame &frame)
 {
     auto reject = [&](RejectCode code, const char *message) {
         const auto payload = encodeReject({code, message});
@@ -285,11 +428,12 @@ MonitorServer::handleFrame(Connection &conn, const Frame &frame)
             reject(RejectCode::Protocol, "bad SessionOpen");
             return;
         }
-        conn.sessionId = mux_.open(spec);
+        conn.sessionId = r.mux->open(spec, conn.assignedId);
         conn.open = true;
-        sessionToFd_[conn.sessionId] = conn.fd;
+        r.sessionToFd[conn.sessionId] = conn.fd;
         const auto payload = encodeSessionAccept(
-            {conn.sessionId, config_.mux.sessionQueueBytes});
+            {conn.sessionId, config_.mux.sessionQueueBytes,
+             static_cast<std::uint64_t>(reactors_.size())});
         sendFrame(conn, FrameType::SessionAccept, payload);
         return;
       }
@@ -306,13 +450,14 @@ MonitorServer::handleFrame(Connection &conn, const Frame &frame)
         }
         BusyInfo busy;
         RejectInfo why;
-        switch (mux_.submitChunk(conn.sessionId, header, log, busy, why)) {
+        switch (
+            r.mux->submitChunk(conn.sessionId, header, log, busy, why)) {
           case Admission::Accepted:
           case Admission::Ignored:
             return;
           case Admission::Busy: {
             ++conn.busyCount;
-            busySent_.fetch_add(1, std::memory_order_relaxed);
+            r.busySent.fetch_add(1, std::memory_order_relaxed);
             const auto payload = encodeBusy(busy);
             sendFrame(conn, FrameType::Busy, payload);
             return;
@@ -321,7 +466,7 @@ MonitorServer::handleFrame(Connection &conn, const Frame &frame)
             const auto payload = encodeReject(why);
             sendFrame(conn, FrameType::Reject, payload);
             conn.wantClose = true;
-            failed_.fetch_add(1, std::memory_order_relaxed);
+            r.failed.fetch_add(1, std::memory_order_relaxed);
             return;
           }
         }
@@ -339,7 +484,7 @@ MonitorServer::handleFrame(Connection &conn, const Frame &frame)
         }
         BusyInfo busy;
         RejectInfo why;
-        switch (mux_.submitTraceEnd(conn.sessionId, seq, busy, why)) {
+        switch (r.mux->submitTraceEnd(conn.sessionId, seq, busy, why)) {
           case Admission::Rejected: {
             const auto payload = encodeReject(why);
             sendFrame(conn, FrameType::Reject, payload);
@@ -360,28 +505,28 @@ MonitorServer::handleFrame(Connection &conn, const Frame &frame)
 }
 
 void
-MonitorServer::drainCompletions()
+MonitorServer::drainCompletions(Reactor &r)
 {
-    for (SessionResult &result : mux_.drainCompleted()) {
+    for (SessionResult &result : r.mux->drainCompleted()) {
         {
             std::lock_guard<std::mutex> lock(metricsMutex_);
             lastSessionMetrics_ = result.metrics;
         }
-        auto it = sessionToFd_.find(result.sessionId);
-        if (it == sessionToFd_.end())
+        auto it = r.sessionToFd.find(result.sessionId);
+        if (it == r.sessionToFd.end())
             continue; // connection already gone
-        auto cit = connections_.find(it->second);
-        sessionToFd_.erase(it);
-        if (cit == connections_.end())
+        auto cit = r.connections.find(it->second);
+        r.sessionToFd.erase(it);
+        if (cit == r.connections.end())
             continue;
         Connection &conn = cit->second;
         if (result.failed) {
-            failed_.fetch_add(1, std::memory_order_relaxed);
+            r.failed.fetch_add(1, std::memory_order_relaxed);
             const auto payload = encodeReject(result.reject);
             sendFrame(conn, FrameType::Reject, payload);
         } else {
-            completed_.fetch_add(1, std::memory_order_relaxed);
-            sendReport(conn, result);
+            r.completed.fetch_add(1, std::memory_order_relaxed);
+            sendReport(r, conn, result);
         }
         conn.wantClose = true;
         flush(conn);
@@ -389,7 +534,8 @@ MonitorServer::drainCompletions()
 }
 
 void
-MonitorServer::sendReport(Connection &conn, const SessionResult &result)
+MonitorServer::sendReport(Reactor &r, Connection &conn,
+                          const SessionResult &result)
 {
     const RemoteReport &report = result.report;
     // Frames that would overrun the outbound cap are dropped and the
@@ -442,7 +588,7 @@ MonitorServer::sendReport(Connection &conn, const SessionResult &result)
     const auto payload = encodeSummary(summary);
     sendFrame(conn, FrameType::Summary, payload);
     if (truncated)
-        partial_.fetch_add(1, std::memory_order_relaxed);
+        r.partial.fetch_add(1, std::memory_order_relaxed);
 }
 
 void
@@ -476,27 +622,27 @@ MonitorServer::flush(Connection &conn)
 }
 
 void
-MonitorServer::closeConnection(int fd, bool abort_session)
+MonitorServer::closeConnection(Reactor &r, int fd, bool abort_session)
 {
-    auto it = connections_.find(fd);
-    if (it == connections_.end())
+    auto it = r.connections.find(fd);
+    if (it == r.connections.end())
         return;
     Connection &conn = it->second;
     if (conn.open && abort_session) {
         // Abort is a no-op for sessions the mux already completed.
-        mux_.abort(conn.sessionId);
-        sessionToFd_.erase(conn.sessionId);
+        r.mux->abort(conn.sessionId);
+        r.sessionToFd.erase(conn.sessionId);
     }
     ::close(fd);
-    connections_.erase(it);
+    r.connections.erase(it);
 }
 
 void
-MonitorServer::checkIdle()
+MonitorServer::checkIdle(Reactor &r)
 {
     const std::int64_t now = nowMs();
     std::vector<int> doomed;
-    for (auto &[fd, conn] : connections_) {
+    for (auto &[fd, conn] : r.connections) {
         if (conn.wantClose)
             continue;
         if (now - conn.lastActivityMs > config_.idleTimeoutMs) {
@@ -509,7 +655,89 @@ MonitorServer::checkIdle()
         }
     }
     for (int fd : doomed)
-        closeConnection(fd, true);
+        closeConnection(r, fd, true);
+}
+
+std::uint64_t
+MonitorServer::sessionsCompleted() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &r : reactors_)
+        sum += r->completed.load(std::memory_order_relaxed);
+    return sum;
+}
+
+std::uint64_t
+MonitorServer::sessionsFailed() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &r : reactors_)
+        sum += r->failed.load(std::memory_order_relaxed);
+    return sum;
+}
+
+std::uint64_t
+MonitorServer::busySent() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &r : reactors_)
+        sum += r->busySent.load(std::memory_order_relaxed);
+    return sum;
+}
+
+std::uint64_t
+MonitorServer::partialReports() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &r : reactors_)
+        sum += r->partial.load(std::memory_order_relaxed);
+    return sum;
+}
+
+std::size_t
+MonitorServer::globalBytes() const
+{
+    std::size_t sum = 0;
+    for (const auto &r : reactors_)
+        if (r->mux)
+            sum += r->mux->globalBytes();
+    return sum;
+}
+
+std::size_t
+MonitorServer::activeSessions() const
+{
+    std::size_t sum = 0;
+    for (const auto &r : reactors_)
+        if (r->mux)
+            sum += r->mux->activeSessions();
+    return sum;
+}
+
+std::vector<ShardStats>
+MonitorServer::shardStats() const
+{
+    std::vector<ShardStats> out;
+    out.reserve(reactors_.size());
+    for (const auto &r : reactors_) {
+        ShardStats s;
+        s.shard = r->index;
+        s.sessionsAssigned = r->assigned.load(std::memory_order_relaxed);
+        s.completed = r->completed.load(std::memory_order_relaxed);
+        s.failed = r->failed.load(std::memory_order_relaxed);
+        s.busySent = r->busySent.load(std::memory_order_relaxed);
+        s.partialReports = r->partial.load(std::memory_order_relaxed);
+        if (r->mux) {
+            s.globalBytes = r->mux->globalBytes();
+            s.activeSessions = r->mux->activeSessions();
+            s.budgetBytes = r->mux->budgetBytes();
+            s.budgetSteals = r->mux->budgetSteals();
+            s.budgetStolenBytes = r->mux->budgetStolenBytes();
+            s.budgetDonatedBytes = r->mux->budgetDonatedBytes();
+        }
+        out.push_back(s);
+    }
+    return out;
 }
 
 telemetry::RegistrySnapshot
@@ -520,3 +748,4 @@ MonitorServer::lastSessionMetrics() const
 }
 
 } // namespace bfly::service
+

@@ -2,12 +2,30 @@
  * @file
  * MonitorServer: the multi-tenant butterfly monitoring daemon.
  *
- * One event-loop thread owns every socket: it accepts connections on a
- * TCP (loopback) and/or Unix-domain listener, splits inbound bytes into
- * frames, and feeds the SessionMux — which does all heavy work (decode,
- * pipelined analysis) on the shared WorkerPool. Completions cross back
- * through the mux's queue and a self-pipe that wakes poll(), and the
- * loop streams ErrorReport/Sos/Summary frames to the client.
+ * The server is a set of N independent *reactors*. Each reactor thread
+ * owns a poll loop, a wake pipe, its connection map and a private
+ * SessionMux shard — which does all heavy work (decode, pipelined
+ * analysis) on the shared WorkerPool. Completions cross back through
+ * the shard's queue and the reactor's self-pipe, and the owning loop
+ * streams ErrorReport/Sos/Summary frames to the client. Because every
+ * socket and session lives on exactly one reactor, the hot path has no
+ * cross-reactor locks at all; reactors touch each other only through
+ * the accept handoff queue and the shared budget pool.
+ *
+ * Session placement: reactor 0 polls the shared Unix/TCP listeners.
+ * Every accepted connection is preassigned a server-global session id
+ * and routed to shard hash(id) % N — adopted locally or handed to the
+ * target reactor through a mutex-protected handoff queue plus a wake.
+ * With tcpReusePort, each reactor additionally owns its own
+ * SO_REUSEPORT TCP listener and the kernel spreads accepts directly
+ * (ids stay globally unique; placement is then the kernel's choice).
+ *
+ * Budgets: the configured global byte budget is sliced evenly across
+ * the shards. The slices rebalance through a BudgetPool — a pressured
+ * shard steals spare bytes before shedding Busy{GlobalBudget}, an idle
+ * reactor donates its excess on the loop tick — so a single hot shard
+ * can grow toward the whole budget while sum(slices) + spare stays
+ * constant (see session_mux.hpp).
  *
  * Failure modes are explicit, never silent:
  *  - over-budget chunk          -> Busy frame (client rewinds, go-back-N)
@@ -23,6 +41,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -45,7 +64,14 @@ struct ServerConfig
     std::uint16_t tcpPort = 0;
     /** Worker pool size; 0 = hardware concurrency. */
     std::size_t workers = 0;
-    /** Admission control and shedding knobs. */
+    /** Reactor shards; each owns a poll loop and a SessionMux slice of
+     *  the byte budget. 0 is treated as 1 (the classic single loop). */
+    std::size_t shards = 1;
+    /** With tcp and shards > 1: give every reactor its own SO_REUSEPORT
+     *  listener so the kernel spreads accepts without a handoff hop. */
+    bool tcpReusePort = false;
+    /** Admission control and shedding knobs. globalBudgetBytes is the
+     *  whole-server budget; it is sliced across shards. */
     MuxConfig mux;
     /** Outbound backlog cap per connection: a report that does not fit
      *  is truncated and closed with Summary{status=Partial} — the
@@ -53,6 +79,24 @@ struct ServerConfig
     std::size_t maxOutboundBytes = 8 * 1024 * 1024;
     /** Disconnect sessions idle for longer than this (0 = disabled). */
     int idleTimeoutMs = 0;
+};
+
+/** One shard's observability snapshot (all counters monotonic except
+ *  the byte gauges). */
+struct ShardStats
+{
+    std::size_t shard = 0;
+    std::uint64_t sessionsAssigned = 0; ///< connections adopted
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t busySent = 0;
+    std::uint64_t partialReports = 0;
+    std::size_t globalBytes = 0;     ///< bytes accounted right now
+    std::size_t activeSessions = 0;  ///< open sessions right now
+    std::size_t budgetBytes = 0;     ///< current (rebalanced) slice
+    std::uint64_t budgetSteals = 0;
+    std::size_t budgetStolenBytes = 0;
+    std::size_t budgetDonatedBytes = 0;
 };
 
 class MonitorServer
@@ -64,22 +108,33 @@ class MonitorServer
     MonitorServer(const MonitorServer &) = delete;
     MonitorServer &operator=(const MonitorServer &) = delete;
 
-    /** Bind + listen + spawn the event loop. False on bind failure. */
+    /** Bind + listen + spawn the reactor loops. False on bind failure. */
     bool start();
 
-    /** Stop accepting, drop connections, drain jobs, join the loop. */
+    /** Stop accepting, drop connections, join every reactor loop. */
     void stop();
 
     /** Bound TCP port (valid after start() when tcp is enabled). */
     std::uint16_t tcpPort() const { return boundTcpPort_; }
 
-    // Observability (test + CLI surface).
-    std::uint64_t sessionsCompleted() const { return completed_.load(); }
-    std::uint64_t sessionsFailed() const { return failed_.load(); }
-    std::uint64_t busySent() const { return busySent_.load(); }
-    std::uint64_t partialReports() const { return partial_.load(); }
-    std::size_t globalBytes() const { return mux_.globalBytes(); }
-    std::size_t activeSessions() const { return mux_.activeSessions(); }
+    /** Reactor count actually running (>= 1 once started). */
+    std::size_t shards() const { return reactors_.size(); }
+
+    /** Shard a session id maps to on the shared-listener path. Exposed
+     *  so tests can pick ids that collide on / span shards. */
+    static std::size_t shardOfSession(std::uint64_t session_id,
+                                      std::size_t shards);
+
+    // Observability (test + CLI surface); sums over all shards.
+    std::uint64_t sessionsCompleted() const;
+    std::uint64_t sessionsFailed() const;
+    std::uint64_t busySent() const;
+    std::uint64_t partialReports() const;
+    std::size_t globalBytes() const;
+    std::size_t activeSessions() const;
+
+    /** Per-shard counters (index == shard). */
+    std::vector<ShardStats> shardStats() const;
 
     /** Telemetry snapshot of the most recently completed session's
      *  private registry (multi-tenancy observability). */
@@ -95,43 +150,65 @@ class MonitorServer
         bool wantClose = false; ///< close once the out buffer drains
         bool open = false;      ///< SessionOpen accepted
         std::uint64_t sessionId = 0;
+        /** Server-global id preassigned at accept; becomes sessionId
+         *  when the SessionOpen frame arrives. */
+        std::uint64_t assignedId = 0;
         std::uint64_t busyCount = 0;
         std::int64_t lastActivityMs = 0;
     };
 
-    void eventLoop();
-    void acceptAll(int listen_fd);
-    void handleReadable(Connection &conn);
-    void handleFrame(Connection &conn, const Frame &frame);
+    /** One event-loop shard. Everything except the handoff queue and
+     *  the atomics is owned by its loop thread alone. */
+    struct Reactor
+    {
+        std::size_t index = 0;
+        int wakeFds[2] = {-1, -1};
+        int tcpFd = -1; ///< own SO_REUSEPORT listener, else -1
+        std::unique_ptr<SessionMux> mux;
+        std::thread thread;
+
+        std::map<int, Connection> connections;    ///< loop thread only
+        std::map<std::uint64_t, int> sessionToFd; ///< loop thread only
+
+        /** Accepted fds routed here by another reactor. */
+        std::mutex handoffMutex;
+        std::vector<std::pair<int, std::uint64_t>> handoff;
+
+        std::atomic<std::uint64_t> assigned{0};
+        std::atomic<std::uint64_t> completed{0};
+        std::atomic<std::uint64_t> failed{0};
+        std::atomic<std::uint64_t> busySent{0};
+        std::atomic<std::uint64_t> partial{0};
+    };
+
+    void reactorLoop(Reactor &r);
+    void acceptAll(Reactor &r, int listen_fd);
+    void adoptConnection(Reactor &r, int fd, std::uint64_t assigned_id);
+    void adoptHandoffs(Reactor &r);
+    void handleReadable(Reactor &r, Connection &conn);
+    void handleFrame(Reactor &r, Connection &conn, const Frame &frame);
     void flush(Connection &conn);
-    void drainCompletions();
-    void sendReport(Connection &conn, const SessionResult &result);
+    void drainCompletions(Reactor &r);
+    void sendReport(Reactor &r, Connection &conn,
+                    const SessionResult &result);
     void sendFrame(Connection &conn, FrameType type,
                    std::span<const std::uint8_t> payload);
-    void closeConnection(int fd, bool abort_session);
-    void checkIdle();
-    void wake();
+    void closeConnection(Reactor &r, int fd, bool abort_session);
+    void checkIdle(Reactor &r);
+    void wake(Reactor &r);
 
     ServerConfig config_;
-    int wakeFds_[2] = {-1, -1};
     int unixFd_ = -1;
-    int tcpFd_ = -1;
+    int tcpFd_ = -1; ///< shared listener (reactor 0 polls it)
     std::uint16_t boundTcpPort_ = 0;
 
     WorkerPool pool_;
-    SessionMux mux_;
+    BudgetPool budgetPool_;
+    std::vector<std::unique_ptr<Reactor>> reactors_;
+    std::atomic<std::uint64_t> nextSessionId_{1};
 
-    std::thread loop_;
     std::atomic<bool> stop_{false};
     bool started_ = false;
-
-    std::map<int, Connection> connections_;        ///< loop thread only
-    std::map<std::uint64_t, int> sessionToFd_;     ///< loop thread only
-
-    std::atomic<std::uint64_t> completed_{0};
-    std::atomic<std::uint64_t> failed_{0};
-    std::atomic<std::uint64_t> busySent_{0};
-    std::atomic<std::uint64_t> partial_{0};
 
     mutable std::mutex metricsMutex_;
     telemetry::RegistrySnapshot lastSessionMetrics_;

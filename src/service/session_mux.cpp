@@ -1,5 +1,6 @@
 #include "service/session_mux.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <thread>
@@ -93,11 +94,19 @@ struct JobCtx
 } // namespace
 
 SessionMux::SessionMux(WorkerPool &pool, const MuxConfig &config,
-                       std::function<void()> wake)
-    : pool_(pool), config_(config), wake_(std::move(wake))
+                       std::function<void()> wake,
+                       std::size_t shard_budget_bytes, BudgetPool *rebalance)
+    : pool_(pool), config_(config), wake_(std::move(wake)),
+      rebalance_(rebalance)
 {
+    // The per-session cap is still clamped to the *global* budget: with
+    // rebalancing, a shard under load can grow past its base slice, so
+    // the slice is not the right ceiling for a single tenant.
     if (config_.maxSessionBytes > config_.globalBudgetBytes)
         config_.maxSessionBytes = config_.globalBudgetBytes;
+    baseBudgetBytes_ = shard_budget_bytes > 0 ? shard_budget_bytes
+                                              : config_.globalBudgetBytes;
+    budgetBytes_.store(baseBudgetBytes_, std::memory_order_relaxed);
 }
 
 SessionMux::~SessionMux()
@@ -106,7 +115,7 @@ SessionMux::~SessionMux()
 }
 
 std::uint64_t
-SessionMux::open(const SessionSpec &spec)
+SessionMux::open(const SessionSpec &spec, std::uint64_t preassigned_id)
 {
     auto session = std::make_shared<Session>();
     session->spec = spec;
@@ -114,7 +123,13 @@ SessionMux::open(const SessionSpec &spec)
     session->decoded.resize(spec.numThreads);
 
     std::lock_guard<std::mutex> lock(mutex_);
-    session->id = nextId_++;
+    if (preassigned_id != 0) {
+        session->id = preassigned_id;
+        if (preassigned_id >= nextId_)
+            nextId_ = preassigned_id + 1;
+    } else {
+        session->id = nextId_++;
+    }
     sessions_.emplace(session->id, session);
     return session->id;
 }
@@ -174,9 +189,20 @@ SessionMux::submitChunk(std::uint64_t session_id, const ChunkHeader &header,
         } else {
             const std::size_t global =
                 globalBytes_.load(std::memory_order_relaxed);
-            if (global + log.size() > config_.globalBudgetBytes) {
+            std::size_t budget = budgetBytes_.load(std::memory_order_relaxed);
+            if (global + log.size() > budget &&
+                stealBudget(global + log.size() - budget))
+                budget = budgetBytes_.load(std::memory_order_relaxed);
+            if (global + log.size() > budget) {
                 if (global > session->accounted) {
                     // Other tenants hold budget; they will release it.
+                    busy = {BusyReason::GlobalBudget, header.seq,
+                            config_.busyRetryMs * 4};
+                    return Admission::Busy;
+                }
+                if (budget < config_.globalBudgetBytes) {
+                    // Alone on this shard but siblings hold the rest of
+                    // the budget; an idle tick may donate it. Transient.
                     busy = {BusyReason::GlobalBudget, header.seq,
                             config_.busyRetryMs * 4};
                     return Admission::Busy;
@@ -462,6 +488,86 @@ SessionMux::activeSessions() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return sessions_.size();
+}
+
+bool
+SessionMux::stealBudget(std::size_t need)
+{
+    if (!rebalance_)
+        return false;
+    // Take at least a quantum so a pressured shard does not come back
+    // for every chunk, but never more than the pool holds.
+    static constexpr std::size_t kStealQuantum = 64 * 1024;
+    std::size_t spare = rebalance_->spare.load(std::memory_order_relaxed);
+    for (;;) {
+        if (spare == 0)
+            return false;
+        const std::size_t want = std::max(need, kStealQuantum);
+        const std::size_t take = std::min(spare, want);
+        if (rebalance_->spare.compare_exchange_weak(
+                spare, spare - take, std::memory_order_acq_rel,
+                std::memory_order_relaxed)) {
+            budgetBytes_.fetch_add(take, std::memory_order_relaxed);
+            steals_.fetch_add(1, std::memory_order_relaxed);
+            stolenBytes_.fetch_add(take, std::memory_order_relaxed);
+            return true;
+        }
+    }
+}
+
+void
+SessionMux::donateIdleBudget()
+{
+    if (!rebalance_)
+        return;
+    // Only a *fully* idle shard donates: no open sessions and nothing
+    // accounted. Keeping half the base slice means an arriving session
+    // is admitted immediately without a round-trip through the pool.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!sessions_.empty())
+            return;
+    }
+    if (globalBytes_.load(std::memory_order_relaxed) != 0)
+        return;
+    const std::size_t keep = baseBudgetBytes_ / 2;
+    std::size_t budget = budgetBytes_.load(std::memory_order_relaxed);
+    for (;;) {
+        if (budget <= keep)
+            return;
+        const std::size_t give = budget - keep;
+        if (budgetBytes_.compare_exchange_weak(
+                budget, keep, std::memory_order_acq_rel,
+                std::memory_order_relaxed)) {
+            rebalance_->spare.fetch_add(give, std::memory_order_acq_rel);
+            donatedBytes_.fetch_add(give, std::memory_order_relaxed);
+            return;
+        }
+    }
+}
+
+std::size_t
+SessionMux::budgetBytes() const
+{
+    return budgetBytes_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+SessionMux::budgetSteals() const
+{
+    return steals_.load(std::memory_order_relaxed);
+}
+
+std::size_t
+SessionMux::budgetStolenBytes() const
+{
+    return stolenBytes_.load(std::memory_order_relaxed);
+}
+
+std::size_t
+SessionMux::budgetDonatedBytes() const
+{
+    return donatedBytes_.load(std::memory_order_relaxed);
 }
 
 } // namespace bfly::service

@@ -22,14 +22,24 @@
  * plus a caller-supplied wake callback (the server writes a self-pipe).
  *
  * Threading contract: open/submit/abort are called only from the
- * server's event loop thread; pump and analysis tasks run on the pool;
- * per-session state is guarded by the session's mutex, the session map
- * by the mux's, and the byte budget is atomic.
+ * owning reactor's event loop thread; pump and analysis tasks run on
+ * the pool; per-session state is guarded by the session's mutex, the
+ * session map by the mux's, and the byte budget is atomic.
+ *
+ * Sharding: a multi-reactor server creates one SessionMux per reactor,
+ * each with a slice of the global byte budget. The slices are linked
+ * through a shared BudgetPool: a shard that would shed with
+ * Busy{GlobalBudget} first tries to *steal* spare budget from the pool
+ * (fast path, one CAS), and a fully idle shard *donates* its excess
+ * back down to half its base slice on the reactor's idle tick. The
+ * invariant is conservation: sum over shards of budgetBytes() plus the
+ * pool's spare always equals the configured global budget.
  */
 
 #ifndef BUTTERFLY_SERVICE_SESSION_MUX_HPP
 #define BUTTERFLY_SERVICE_SESSION_MUX_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -44,13 +54,25 @@
 
 namespace bfly::service {
 
+/**
+ * Spare-budget pool shared by the session muxes of a sharded server.
+ * Holds bytes no shard currently owns: idle shards donate into it,
+ * pressured shards steal from it. Lock-free; one atomic.
+ */
+struct BudgetPool
+{
+    std::atomic<std::size_t> spare{0};
+};
+
 struct MuxConfig
 {
     /** Per-session ingest queue watermark: a chunk is admitted while the
      *  queued bytes are below this (LogBuffer-style overshoot by at most
      *  one chunk), shed with Busy otherwise. */
     std::size_t sessionQueueBytes = 256 * 1024;
-    /** Server-wide budget over queued + decoded bytes of all sessions. */
+    /** Server-wide budget over queued + decoded bytes of all sessions.
+     *  A sharded server slices this evenly across its shards and lets
+     *  the slices rebalance through a BudgetPool. */
     std::size_t globalBudgetBytes = 64 * 1024 * 1024;
     /** Hard per-session footprint cap; exceeding it is a Reject, not a
      *  Busy (the client's data simply does not fit). Clamped to the
@@ -94,10 +116,20 @@ class SessionMux
   public:
     struct Session; ///< defined in session_mux.cpp
 
-    /** @param wake  called (possibly from a pool thread) after a result
-     *               is queued; must be async-signal-ish cheap. */
+    /**
+     * @param wake  called (possibly from a pool thread) after a result
+     *              is queued; must be async-signal-ish cheap.
+     * @param shard_budget_bytes  this shard's slice of the global byte
+     *              budget; 0 means the whole config.globalBudgetBytes
+     *              (the single-shard/legacy layout).
+     * @param rebalance  shared spare-budget pool linking sibling shards;
+     *              null disables steal/donate (single shard). Borrowed,
+     *              must outlive the mux.
+     */
     SessionMux(WorkerPool &pool, const MuxConfig &config,
-               std::function<void()> wake);
+               std::function<void()> wake,
+               std::size_t shard_budget_bytes = 0,
+               BudgetPool *rebalance = nullptr);
     /** Drains all in-flight pump/analysis tasks before returning. */
     ~SessionMux();
 
@@ -118,8 +150,11 @@ class SessionMux
         return n * sizeof(Event);
     }
 
-    /** Admit a new session. @return its id. */
-    std::uint64_t open(const SessionSpec &spec);
+    /** Admit a new session. @return its id. A sharded server passes a
+     *  @p preassigned_id (server-global, nonzero) so ids stay unique
+     *  across shards; 0 draws from this mux's own counter. */
+    std::uint64_t open(const SessionSpec &spec,
+                       std::uint64_t preassigned_id = 0);
 
     /** Admission + enqueue of one log chunk. On Busy fills @p busy, on
      *  Rejected fills @p reject (and the session is gone). */
@@ -144,6 +179,19 @@ class SessionMux
     /** Sessions currently open (excludes completed/aborted). */
     std::size_t activeSessions() const;
 
+    /** Bytes this shard may currently admit (base slice +- rebalance). */
+    std::size_t budgetBytes() const;
+
+    /** Reactor idle tick: if the shard is fully idle (no sessions, no
+     *  accounted bytes) donate everything above half the base slice to
+     *  the shared pool. No-op without a pool. */
+    void donateIdleBudget();
+
+    /** Budget-rebalance observability. */
+    std::uint64_t budgetSteals() const;
+    std::size_t budgetStolenBytes() const;
+    std::size_t budgetDonatedBytes() const;
+
   private:
     static void pumpTrampoline(void *ctx, std::size_t);
     void pump(const std::shared_ptr<Session> &session);
@@ -163,9 +211,24 @@ class SessionMux
     std::shared_ptr<Session> find(std::uint64_t session_id);
     void erase(std::uint64_t session_id);
 
+    /** Under pressure for @p need more bytes: grab spare budget from
+     *  the pool (at least a quantum, to amortize the contention).
+     *  @return true if any budget was acquired. */
+    bool stealBudget(std::size_t need);
+
     WorkerPool &pool_;
     MuxConfig config_;
     std::function<void()> wake_;
+
+    /** This shard's base budget slice and its current (rebalanced)
+     *  value. budgetBytes_ only moves through steal/donate, so
+     *  sum(shards) + pool->spare is conserved. */
+    std::size_t baseBudgetBytes_ = 0;
+    std::atomic<std::size_t> budgetBytes_{0};
+    BudgetPool *rebalance_ = nullptr;
+    std::atomic<std::uint64_t> steals_{0};
+    std::atomic<std::size_t> stolenBytes_{0};
+    std::atomic<std::size_t> donatedBytes_{0};
 
     mutable std::mutex mutex_; ///< guards sessions_ and nextId_
     std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions_;

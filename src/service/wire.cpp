@@ -236,6 +236,7 @@ encodeSessionAccept(const SessionAcceptInfo &info)
     Writer w;
     w.putVarint(info.sessionId);
     w.putVarint(info.queueBytesHint);
+    w.putVarint(info.shardCount);
     return std::move(w.out);
 }
 
@@ -244,8 +245,9 @@ decodeSessionAccept(std::span<const std::uint8_t> payload,
                     SessionAcceptInfo &out)
 {
     Reader r{payload};
-    const bool ok =
-        r.getVarint(out.sessionId) && r.getVarint(out.queueBytesHint);
+    const bool ok = r.getVarint(out.sessionId) &&
+                    r.getVarint(out.queueBytesHint) &&
+                    r.getVarint(out.shardCount);
     return statusOf(ok, r);
 }
 

@@ -34,8 +34,10 @@
 
 namespace bfly::service {
 
-/** Protocol revision carried in SessionOpen. */
-inline constexpr std::uint8_t kWireVersion = 1;
+/** Protocol revision carried in SessionOpen. v2 added shardCount to
+ *  SessionAccept (servers reject other versions, so both ends move
+ *  together — the repo ships client and server from one tree). */
+inline constexpr std::uint8_t kWireVersion = 2;
 
 /** Hard cap on one frame's payload (bounds every inbound allocation). */
 inline constexpr std::size_t kMaxFramePayload = 1u << 20;
@@ -128,6 +130,7 @@ struct SessionAcceptInfo
 {
     std::uint64_t sessionId = 0;
     std::uint64_t queueBytesHint = 0; ///< server's per-session queue cap
+    std::uint64_t shardCount = 1;     ///< reactor shards serving sessions
 };
 
 /** LogChunk header; the log bytes follow in the same payload. */

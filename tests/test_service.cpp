@@ -267,6 +267,13 @@ TEST(Wire, PayloadsRoundTrip)
     ASSERT_EQ(decodeTraceEnd(encodeTraceEnd(31337), seq),
               DecodeStatus::Ok);
     EXPECT_EQ(seq, 31337u);
+
+    SessionAcceptInfo accept{77, 256 * 1024, 4}, accept2;
+    ASSERT_EQ(decodeSessionAccept(encodeSessionAccept(accept), accept2),
+              DecodeStatus::Ok);
+    EXPECT_EQ(accept2.sessionId, accept.sessionId);
+    EXPECT_EQ(accept2.queueBytesHint, accept.queueBytesHint);
+    EXPECT_EQ(accept2.shardCount, accept.shardCount);
 }
 
 TEST(Wire, FrameParserReassemblesByteByByte)
@@ -405,6 +412,69 @@ TEST(SessionMuxTest, GlobalBudgetShedsOnlyWhenOthersHoldBytes)
            std::chrono::steady_clock::now() < deadline)
         std::this_thread::sleep_for(1ms);
     EXPECT_EQ(mux.globalBytes(), 0u);
+}
+
+TEST(SessionMuxTest, PressuredShardStealsBudgetDonatedByIdleShard)
+{
+    // Two shards splitting an 8 KiB budget through a shared pool. The
+    // hot shard outgrows its 4 KiB slice, sheds Busy while the pool is
+    // empty, then succeeds once the idle shard's tick donates — and the
+    // conservation invariant sum(slices) + spare == total holds at
+    // every step.
+    WorkerPool pool(2);
+    MuxConfig config;
+    config.sessionQueueBytes = 1 << 20;
+    config.globalBudgetBytes = 8192;
+    config.debugPumpDelayMs = 200; // park the bytes in the queue
+    BudgetPool shared;
+    SessionMux hot(pool, config, [] {}, 4096, &shared);
+    SessionMux idle(pool, config, [] {}, 4096, &shared);
+
+    auto totalBudget = [&] {
+        return hot.budgetBytes() + idle.budgetBytes() +
+               shared.spare.load();
+    };
+    EXPECT_EQ(totalBudget(), 8192u);
+
+    SessionSpec spec;
+    spec.lifeguard = static_cast<std::uint8_t>(Lifeguard::AddrCheck);
+    spec.numThreads = 1;
+    const std::uint64_t id = hot.open(spec);
+    const std::vector<std::uint8_t> chunk(2800, 0x00); // Nop opcodes
+
+    BusyInfo busy;
+    RejectInfo reject;
+    ASSERT_EQ(hot.submitChunk(id, {0, 0}, chunk, busy, reject),
+              Admission::Accepted);
+
+    // Over the slice, pool empty, but siblings hold the rest of the
+    // global budget: transient Busy, not a TooLarge reject.
+    ASSERT_EQ(hot.submitChunk(id, {1, 0}, chunk, busy, reject),
+              Admission::Busy);
+    EXPECT_EQ(busy.reason, BusyReason::GlobalBudget);
+    EXPECT_EQ(hot.budgetSteals(), 0u);
+
+    // The idle shard's reactor tick donates down to half its slice.
+    idle.donateIdleBudget();
+    EXPECT_EQ(idle.budgetBytes(), 2048u);
+    EXPECT_EQ(idle.budgetDonatedBytes(), 2048u);
+    EXPECT_EQ(shared.spare.load(), 2048u);
+    EXPECT_EQ(totalBudget(), 8192u);
+
+    // The go-back-N retry now steals the spare bytes and is admitted.
+    ASSERT_EQ(hot.submitChunk(id, {1, 0}, chunk, busy, reject),
+              Admission::Accepted);
+    EXPECT_EQ(hot.budgetSteals(), 1u);
+    EXPECT_EQ(hot.budgetStolenBytes(), 2048u);
+    EXPECT_EQ(hot.budgetBytes(), 4096u + 2048u);
+    EXPECT_EQ(shared.spare.load(), 0u);
+    EXPECT_EQ(totalBudget(), 8192u);
+
+    // A busy shard never donates, even when asked.
+    hot.donateIdleBudget();
+    EXPECT_EQ(hot.budgetBytes(), 4096u + 2048u);
+
+    hot.abort(id);
 }
 
 TEST(SessionMuxTest, RejectsChunkBeyondSessionCap)
@@ -634,16 +704,100 @@ TEST(MonitorService, ConcurrentSessionsConform)
               static_cast<std::uint64_t>(kThreads * kTracesPerThread));
 }
 
-TEST(MonitorService, CrashRestartSpoolReplayKeepsFingerprint)
+TEST(MonitorService, ShardOfSessionCoversAllShardsOverAdjacentIds)
 {
-    // Crash-restart durability: each marked trace is spooled to a .bfz
-    // log file before it is sent. After the server "crashes" (stop, all
-    // in-memory state discarded) a fresh server on the same path must
-    // reproduce a bit-identical report — same records, SOS, and summary
-    // fingerprint — from the reloaded spool, across all six lifeguards.
+    // Connections get consecutive session ids, so the placement hash
+    // must spread *adjacent* ids: over 64 of them and 4 shards, every
+    // shard is hit. Also pins determinism and the single-shard case.
+    constexpr std::size_t kShards = 4;
+    std::vector<int> hits(kShards, 0);
+    for (std::uint64_t id = 1; id <= 64; ++id) {
+        const std::size_t s = MonitorServer::shardOfSession(id, kShards);
+        ASSERT_LT(s, kShards);
+        EXPECT_EQ(s, MonitorServer::shardOfSession(id, kShards));
+        ++hits[s];
+    }
+    for (std::size_t s = 0; s < kShards; ++s)
+        EXPECT_GT(hits[s], 0) << "shard " << s << " never hit";
+    EXPECT_EQ(MonitorServer::shardOfSession(12345, 1), 0u);
+}
+
+TEST(MonitorService, MultiReactorDistributesSessionsAndSumsStats)
+{
+    // Three reactors behind one Unix listener: sessions spread over
+    // more than one shard, every client learns the shard count from
+    // SessionAccept, reports stay bit-identical to the reference, and
+    // the per-shard counters sum to the aggregate accessors.
     ServerConfig scfg;
-    scfg.unixPath = tempSocketPath("crash");
+    scfg.unixPath = tempSocketPath("shards");
+    scfg.workers = 4;
+    scfg.shards = 3;
+    MonitorServer server(scfg);
+    ASSERT_TRUE(server.start());
+    EXPECT_EQ(server.shards(), 3u);
+
+    const Addr heap = 0x100000;
+    const Trace marked = makeMarkedTrace(2, 4, 30, heap);
+    const SessionSpec spec = addrcheckSpec(marked, heap);
+    const RemoteReport reference = referenceFor(spec, marked);
+
+    constexpr int kSessions = 24;
+    std::atomic<int> bad{0};
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kSessions; ++i) {
+        threads.emplace_back([&] {
+            MonitorClient client;
+            if (!client.connectUnix(scfg.unixPath)) {
+                bad.fetch_add(1);
+                return;
+            }
+            const RunResult remote = client.run(spec, marked);
+            if (!remote.ok || !remote.report.identical(reference) ||
+                remote.serverShards != 3)
+                bad.fetch_add(1);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(bad.load(), 0);
+
+    const std::vector<ShardStats> stats = server.shardStats();
+    ASSERT_EQ(stats.size(), 3u);
+    std::uint64_t sum_completed = 0, sum_assigned = 0, sum_busy = 0;
+    std::size_t shards_used = 0;
+    for (const ShardStats &s : stats) {
+        sum_completed += s.completed;
+        sum_assigned += s.sessionsAssigned;
+        sum_busy += s.busySent;
+        if (s.sessionsAssigned > 0)
+            ++shards_used;
+    }
+    EXPECT_EQ(sum_completed, static_cast<std::uint64_t>(kSessions));
+    EXPECT_EQ(sum_completed, server.sessionsCompleted());
+    EXPECT_EQ(sum_assigned, static_cast<std::uint64_t>(kSessions));
+    EXPECT_EQ(sum_busy, server.busySent());
+    EXPECT_GE(shards_used, 2u)
+        << "placement hash parked every session on one shard";
+    server.stop();
+    EXPECT_EQ(server.sessionsFailed(), 0u);
+}
+
+namespace {
+
+/** Crash-restart durability: each marked trace is spooled to a .bfz
+ *  log file before it is sent. After the server "crashes" (stop, all
+ *  in-memory state discarded) a fresh server on the same path must
+ *  reproduce a bit-identical report — same records, SOS, and summary
+ *  fingerprint — from the reloaded spool, across all six lifeguards.
+ *  Runs at @p shards reactors: the replay must land on whatever shard
+ *  the new server picks and still fingerprint identically. */
+void
+runCrashRestartSpoolReplay(std::size_t shards, const char *tag)
+{
+    ServerConfig scfg;
+    scfg.unixPath = tempSocketPath(tag);
     scfg.workers = 2;
+    scfg.shards = shards;
 
     fuzz::FuzzerConfig fcfg;
     fcfg.seed = 20260808;
@@ -678,7 +832,7 @@ TEST(MonitorService, CrashRestartSpoolReplayKeepsFingerprint)
             s.spec.heapLimit = fuzz_case.heapLimit;
 
             const Trace marked = withHeartbeatMarkers(trace, layout);
-            s.path = ::testing::TempDir() + "bfly_spool_" +
+            s.path = ::testing::TempDir() + "bfly_spool_" + tag + "_" +
                      std::to_string(::getpid()) + "_" +
                      std::to_string(i) + ".bfz";
             ASSERT_TRUE(saveTrace(marked, s.path));
@@ -713,6 +867,18 @@ TEST(MonitorService, CrashRestartSpoolReplayKeepsFingerprint)
     }
     server.stop();
     EXPECT_EQ(server.sessionsFailed(), 0u);
+}
+
+} // namespace
+
+TEST(MonitorService, CrashRestartSpoolReplayKeepsFingerprint)
+{
+    runCrashRestartSpoolReplay(1, "crash");
+}
+
+TEST(MonitorService, CrashRestartSpoolReplayKeepsFingerprintSharded)
+{
+    runCrashRestartSpoolReplay(2, "crash2");
 }
 
 TEST(MonitorService, ShedsUnderBackPressureAndStillConforms)
