@@ -4,7 +4,7 @@
  *
  *   bfly_loadgen [--unix PATH | --tcp PORT] --sessions N --traces M
  *                [--seed S] [--chunk-bytes B] [--json FILE] [--quiet]
- *                [--chaos --budget-sec T]
+ *                [--adaptive] [--chaos --budget-sec T]
  *
  * Replays TraceFuzzer cases across N concurrent client connections,
  * cycling all six lifeguards. Every remote report is checked
@@ -14,6 +14,15 @@
  * MonitorServer is spun up on a private Unix socket, so the tool is
  * self-contained for CI smoke runs.
  *
+ * --adaptive (in-process server only) turns on the server's online
+ * epoch-sizing ladder *and* the deterministic force-cycle policy, which
+ * re-slices every session through epoch widths 1,2,4,8,... — at least
+ * three h-changes per session. The server advertises the realized
+ * slicing in EpochHint frames; the local reference is then rebuilt over
+ * exactly those boundaries (EpochLayout::coalescedFromHeartbeats), so
+ * every report must still be bit-identical. Any divergence at an
+ * adaptation point is a conformance failure.
+ *
  * --chaos turns the run into a time-budgeted soak: workers keep issuing
  * sessions until --budget-sec expires, and each iteration randomly
  * picks a well-behaved conformance run, a conformance run whose trace
@@ -21,8 +30,14 @@
  * thread; the local reference is computed over the *same* skewed trace,
  * so bit-identity must still hold), a mid-stream client kill (raw
  * socket, SessionOpen + a dangling LogChunk, then an abrupt close with
- * no TraceEnd), or connect/disconnect churn. The server must shed the
- * abusive sessions without perturbing any concurrent conformance run.
+ * no TraceEnd), connect/disconnect churn, a budget hog (a session that
+ * parks megabytes of decoded events with no TraceEnd, pressuring the
+ * shard byte budget while peers run conformance cases), or a TraceEnd
+ * flood (one valid chunk, then dozens of out-of-sequence TraceEnd
+ * frames the server must Ignore). The server must shed the abusive
+ * sessions without perturbing any concurrent conformance run. Chaos
+ * mode shrinks the in-process server's budget so hogs genuinely bite,
+ * and samples its own RSS to expose steady-state memory growth.
  *
  * Emits a JSON throughput/latency summary (stdout and optionally
  * --json FILE); session latency is also recorded into the telemetry
@@ -77,7 +92,8 @@ struct Options
     bool quiet = false;
     bool chaos = false;
     std::uint64_t budgetSec = 30;
-    std::size_t shards = 1; ///< in-process server only
+    std::size_t shards = 1;  ///< in-process server only
+    bool adaptive = false;   ///< in-process server only
 };
 
 struct Tally
@@ -89,10 +105,17 @@ struct Tally
     std::atomic<std::uint64_t> events{0};
     std::atomic<std::uint64_t> records{0};
     std::atomic<std::uint64_t> partials{0};
+    // adaptive: epoch-width changes observed across all EpochHint spans
+    std::atomic<std::uint64_t> hChanges{0};
     // chaos-only counters
     std::atomic<std::uint64_t> kills{0};
     std::atomic<std::uint64_t> churns{0};
     std::atomic<std::uint64_t> skews{0};
+    std::atomic<std::uint64_t> hogs{0};
+    std::atomic<std::uint64_t> floods{0};
+    /** Sessions refused with RejectCode::Overload — the shed rung doing
+     *  its job under chaos pressure, not a conformance failure. */
+    std::atomic<std::uint64_t> sheds{0};
     /** Highest shard count any SessionAccept reported (0 = none seen). */
     std::atomic<std::uint64_t> serverShards{0};
 
@@ -121,9 +144,13 @@ usage(std::ostream &out)
         << "  --chunk-bytes B  log bytes per LogChunk (default 32768)\n"
         << "  --json FILE      also write the JSON summary to FILE\n"
         << "  --quiet          only print the JSON summary\n"
+        << "  --adaptive       in-process server: adaptive epoch sizing\n"
+        << "                   with the force-cycle policy; references\n"
+        << "                   are rebuilt over the advertised slicing\n"
         << "  --chaos          soak mode: mix conformance runs with\n"
-        << "                   client kills, connect churn and skewed\n"
-        << "                   heartbeats until the budget expires\n"
+        << "                   client kills, connect churn, skewed\n"
+        << "                   heartbeats, budget hogs and TraceEnd\n"
+        << "                   floods until the budget expires\n"
         << "  --budget-sec T   chaos wall-clock budget (default 30)\n"
         << "  --help           print this help and exit 0\n";
 }
@@ -190,6 +217,10 @@ skewHeartbeats(Trace &marked, std::mt19937_64 &rng)
  * remotely, compare bit-for-bit against the local reference. With
  * @p skew, the heartbeat-marked trace is clock-skewed first and the
  * reference recomputed over the skewed trace's own marker slicing.
+ * Against an adaptive server the reference is computed *after* the
+ * remote run, over the realized slicing the server advertised in its
+ * EpochHint frames — so bit-identity is demanded across every online
+ * h-change, whatever the controller decided.
  */
 void
 runConformanceCase(const Options &opt, fuzz::TraceFuzzer &fuzzer,
@@ -206,16 +237,9 @@ runConformanceCase(const Options &opt, fuzz::TraceFuzzer &fuzzer,
     const SessionSpec spec = specFor(fuzz_case, trace, index);
 
     Trace marked = withHeartbeatMarkers(trace, layout);
-    RemoteReport local;
     if (skew) {
         skewHeartbeats(marked, rng);
         tally.skews.fetch_add(1);
-        // The skewed markers *are* the epoch structure now; the
-        // reference must follow the same slicing the server will see.
-        local = analyzeReference(spec, marked,
-                                 EpochLayout::fromHeartbeats(marked));
-    } else {
-        local = analyzeReference(spec, trace, layout);
     }
 
     ClientConfig ccfg;
@@ -239,10 +263,14 @@ runConformanceCase(const Options &opt, fuzz::TraceFuzzer &fuzzer,
     tally.traces.fetch_add(1);
     tally.busyRetries.fetch_add(remote.busyRetries);
     tally.events.fetch_add(trace.instructionCount());
-    tally.records.fetch_add(local.records.size());
     tally.noteServerShards(remote.serverShards);
 
     if (!remote.ok) {
+        if (remote.overloaded) {
+            // Shed by the degradation ladder: retry-later semantics.
+            tally.sheds.fetch_add(1);
+            return;
+        }
         tally.failures.fetch_add(1);
         std::lock_guard<std::mutex> lock(log_mutex);
         std::cerr << "loadgen: case " << index << " ("
@@ -254,7 +282,50 @@ runConformanceCase(const Options &opt, fuzz::TraceFuzzer &fuzzer,
     }
     if (remote.summary.status == SummaryStatus::Partial)
         tally.partials.fetch_add(1);
-    if (!remote.report.identical(local)) {
+    tally.hChanges.fetch_add(remote.hChanges());
+
+    // Local reference over the realized slicing. An adaptive server
+    // advertises its (possibly re-sliced) epoch spans; rebuilding the
+    // coalesced layout from the same marked trace reproduces the exact
+    // boundaries it analyzed. Without hints the source slicing stands.
+    RemoteReport local;
+    if (!remote.epochSpans.empty()) {
+        std::uint64_t spanned = 0;
+        for (const std::uint32_t k : remote.epochSpans)
+            spanned += k;
+        const EpochLayout source = EpochLayout::fromHeartbeats(marked);
+        if (spanned != source.numEpochs()) {
+            tally.mismatches.fetch_add(1);
+            std::lock_guard<std::mutex> lock(log_mutex);
+            std::cerr << "loadgen: case " << index
+                      << ": EpochHint spans cover " << spanned
+                      << " source epochs, trace has "
+                      << source.numEpochs() << "\n";
+            return;
+        }
+        local = analyzeReference(
+            spec, marked,
+            EpochLayout::coalescedFromHeartbeats(marked,
+                                                 remote.epochSpans));
+    } else if (skew) {
+        // The skewed markers *are* the epoch structure now; the
+        // reference must follow the same slicing the server saw.
+        local = analyzeReference(spec, marked,
+                                 EpochLayout::fromHeartbeats(marked));
+    } else {
+        local = analyzeReference(spec, trace, layout);
+    }
+    tally.records.fetch_add(local.records.size());
+
+    // A Partial summary means the record/sos stream was cut (slow-client
+    // truncation or the Partial degrade rung); the fingerprint still
+    // witnesses the full analysis, so conformance falls back to it.
+    const bool partial = remote.summary.status == SummaryStatus::Partial;
+    const bool conformant =
+        partial ? remote.report.fingerprint == local.fingerprint &&
+                      remote.report.epochs == local.epochs
+                : remote.report.identical(local);
+    if (!conformant) {
         tally.mismatches.fetch_add(1);
         std::lock_guard<std::mutex> lock(log_mutex);
         std::cerr << "loadgen: case " << index << " ("
@@ -313,7 +384,10 @@ sendRaw(int fd, const std::vector<std::uint8_t> &bytes, std::size_t limit)
     std::size_t off = 0;
     const std::size_t n = std::min(bytes.size(), limit);
     while (off < n) {
-        const ssize_t w = ::write(fd, bytes.data() + off, n - off);
+        // MSG_NOSIGNAL: the server dropping an abusive peer mid-write
+        // must surface as EPIPE here, not kill the whole soak.
+        const ssize_t w =
+            ::send(fd, bytes.data() + off, n - off, MSG_NOSIGNAL);
         if (w <= 0)
             return; // server already dropped us; that is fine
         off += static_cast<std::size_t>(w);
@@ -378,6 +452,110 @@ connectChurn(const Options &opt, std::mt19937_64 &rng, Tally &tally)
     tally.churns.fetch_add(1);
 }
 
+/**
+ * Budget hog: a session that streams a few MiB of decoded events with
+ * no heartbeat markers and no TraceEnd, so nothing can retire and the
+ * bytes sit accounted against the shard budget. It holds that pressure
+ * for a beat — long enough for concurrent workers' conformance runs to
+ * cross the admission edge (Busy{GlobalBudget} rewinds, the adaptive
+ * ladder's escalation) — then closes; the abort path must reclaim
+ * every byte. The hog never nests a conformance run of its own: if
+ * several hogs pinned the whole budget while each waited on a client
+ * run, they would deadlock the soak.
+ */
+void
+budgetExhaust(const Options &opt, fuzz::TraceFuzzer &fuzzer,
+              std::uint64_t index, std::mt19937_64 &rng, Tally &tally)
+{
+    const int fd = rawConnect(opt);
+    if (fd < 0)
+        return;
+    const fuzz::FuzzCase fuzz_case =
+        fuzzer.generate(opt.seed * 1000003 + index);
+    const Trace trace = fuzz_case.materialize();
+    SessionSpec spec = specFor(fuzz_case, trace, index);
+    spec.numThreads = std::max<std::uint32_t>(spec.numThreads, 1);
+
+    sendRaw(fd, encodeFramed(FrameType::SessionOpen, encodeSessionOpen(spec)),
+            SIZE_MAX);
+
+    // Tile thread 0's log into ~2 MiB of decoded events (each decoded
+    // event accounts kDecodedEventBytes). Sequenced correctly so every
+    // chunk is admitted until the server pushes back.
+    std::vector<Event> base;
+    for (const ThreadTrace &t : trace.threads)
+        if (!t.events.empty()) {
+            base = t.events;
+            break;
+        }
+    if (base.empty()) {
+        ::close(fd);
+        return;
+    }
+    const std::vector<std::uint8_t> log = encodeEvents(base);
+    constexpr std::size_t kTargetDecodedBytes = 2 * 1024 * 1024;
+    const std::size_t perChunk = base.size() * 40;
+    const std::size_t chunks =
+        std::max<std::size_t>(1, kTargetDecodedBytes / perChunk);
+    for (std::size_t seq = 0; seq < chunks; ++seq) {
+        ChunkHeader header;
+        header.seq = seq;
+        header.tid = 0;
+        sendRaw(fd, encodeFramed(FrameType::LogChunk,
+                                 encodeChunk(header, log)),
+                SIZE_MAX);
+    }
+    // Hold the pressure; peers are running conformance cases against
+    // the shrunken chaos budget right now.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(50 + rng() % 150));
+    ::close(fd);
+    tally.hogs.fetch_add(1);
+}
+
+/**
+ * TraceEnd flood: one valid chunk, then dozens of TraceEnd frames whose
+ * sequence numbers are wrong — duplicates, far-future, shuffled. Every
+ * one of them must be Ignored (go-back-N discipline: TraceEnd shares
+ * the chunk sequence space), the session must stay un-drained, and the
+ * abort on close must reclaim its bytes.
+ */
+void
+traceEndFlood(const Options &opt, fuzz::TraceFuzzer &fuzzer,
+              std::uint64_t index, std::mt19937_64 &rng, Tally &tally)
+{
+    const int fd = rawConnect(opt);
+    if (fd < 0)
+        return;
+    const fuzz::FuzzCase fuzz_case =
+        fuzzer.generate(opt.seed * 1000003 + index);
+    const Trace trace = fuzz_case.materialize();
+    const SessionSpec spec = specFor(fuzz_case, trace, index);
+
+    sendRaw(fd, encodeFramed(FrameType::SessionOpen, encodeSessionOpen(spec)),
+            SIZE_MAX);
+    if (!trace.threads.empty() && !trace.threads[0].events.empty()) {
+        ChunkHeader header;
+        header.seq = 0;
+        header.tid = trace.threads[0].tid;
+        sendRaw(fd, encodeFramed(
+                        FrameType::LogChunk,
+                        encodeChunk(header,
+                                    encodeEvents(trace.threads[0].events))),
+                SIZE_MAX);
+    }
+    // expectedSeq is now 1; every flooded TraceEnd dodges it (>= 2),
+    // so none may finalize the session.
+    const std::size_t flood = 48 + rng() % 17;
+    for (std::size_t k = 0; k < flood; ++k) {
+        const std::uint64_t seq = 2 + rng() % 64;
+        sendRaw(fd, encodeFramed(FrameType::TraceEnd, encodeTraceEnd(seq)),
+                SIZE_MAX);
+    }
+    ::close(fd);
+    tally.floods.fetch_add(1);
+}
+
 void
 worker(const Options &opt, std::atomic<std::uint64_t> &next, Tally &tally,
        std::mutex &log_mutex,
@@ -407,7 +585,7 @@ worker(const Options &opt, std::atomic<std::uint64_t> &next, Tally &tally,
         }
 
         std::mt19937_64 rng(opt.seed * 0x9e3779b97f4a7c15ull + index);
-        switch (rng() % 8) {
+        switch (rng() % 10) {
           case 0:
             midStreamKill(opt, fuzzer, index, rng, tally);
             break;
@@ -418,6 +596,12 @@ worker(const Options &opt, std::atomic<std::uint64_t> &next, Tally &tally,
           case 3:
             runConformanceCase(opt, fuzzer, index, /*skew=*/true, rng,
                                tally, log_mutex, reg, latency);
+            break;
+          case 8:
+            budgetExhaust(opt, fuzzer, index, rng, tally);
+            break;
+          case 9:
+            traceEndFlood(opt, fuzzer, index, rng, tally);
             break;
           default:
             runConformanceCase(opt, fuzzer, index, /*skew=*/false, rng,
@@ -488,6 +672,8 @@ main(int argc, char **argv)
             opt.jsonPath = value();
         else if (arg == "--quiet")
             opt.quiet = true;
+        else if (arg == "--adaptive")
+            opt.adaptive = true;
         else if (arg == "--chaos")
             opt.chaos = true;
         else if (arg == "--budget-sec")
@@ -510,6 +696,11 @@ main(int argc, char **argv)
         std::cerr << "bfly_loadgen: --budget-sec must be > 0\n";
         return 2;
     }
+    if (opt.adaptive && (opt.tcp || !opt.unixPath.empty()) && !opt.quiet)
+        std::cerr << "loadgen: note: --adaptive configures the "
+                     "in-process server; against an external endpoint "
+                     "the reference already follows any advertised "
+                     "EpochHint slicing\n";
 
     telemetry::setEnabled(true);
 
@@ -520,6 +711,22 @@ main(int argc, char **argv)
         scfg.unixPath =
             "/tmp/bfly-loadgen-" + std::to_string(::getpid()) + ".sock";
         scfg.shards = opt.shards;
+        if (opt.adaptive) {
+            // Force-cycle the epoch width every group so every session
+            // crosses several h-changes; the conformance check then
+            // proves bit-identity at each adaptation point.
+            scfg.mux.adaptive = true;
+            scfg.mux.adaptiveForceCycle = true;
+        }
+        if (opt.chaos) {
+            // Shrink the budget so the hog action genuinely pressures
+            // admission (one hog parks ~2 MiB decoded against 8 MiB
+            // total, sliced across shards), and widen the per-session
+            // queue so the hog's burst is admitted rather than cut at
+            // the queue watermark before it ever reaches the budget.
+            scfg.mux.globalBudgetBytes = 8 * 1024 * 1024;
+            scfg.mux.sessionQueueBytes = 1024 * 1024;
+        }
         inProcess = std::make_unique<MonitorServer>(scfg);
         if (!inProcess->start()) {
             std::cerr << "loadgen: failed to start in-process server\n";
@@ -535,6 +742,29 @@ main(int argc, char **argv)
     std::atomic<std::uint64_t> next{0};
     std::mutex logMutex;
 
+    // Chaos soaks watch their own resident set: after warmup the
+    // process should plateau, so the growth ratio between the third and
+    // final quarter of the samples exposes a leak that absolute peak
+    // numbers would hide.
+    std::vector<std::uint64_t> rssKb;
+    std::atomic<bool> rssStop{false};
+    std::thread rssThread;
+    if (opt.chaos) {
+        rssThread = std::thread([&rssKb, &rssStop] {
+            const long page = ::sysconf(_SC_PAGESIZE);
+            while (!rssStop.load()) {
+                std::ifstream statm("/proc/self/statm");
+                std::uint64_t size = 0, resident = 0;
+                if (statm >> size >> resident)
+                    rssKb.push_back(resident *
+                                    static_cast<std::uint64_t>(page) /
+                                    1024);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(500));
+            }
+        });
+    }
+
     const auto wall0 = std::chrono::steady_clock::now();
     const auto deadline = wall0 + std::chrono::seconds(opt.budgetSec);
     std::vector<std::thread> threads;
@@ -549,8 +779,34 @@ main(int argc, char **argv)
             std::chrono::steady_clock::now() - wall0)
             .count();
 
+    rssStop.store(true);
+    if (rssThread.joinable())
+        rssThread.join();
+
     if (inProcess)
         inProcess->stop();
+
+    // rss_growth: mean of the last quarter of samples over the mean of
+    // the quarter before it, minus one. Both windows are post-warmup,
+    // so a healthy steady state sits near 0 regardless of how big the
+    // working set got while ramping.
+    double rssGrowth = 0.0;
+    std::uint64_t rssPeakKb = 0;
+    for (const std::uint64_t kb : rssKb)
+        rssPeakKb = std::max(rssPeakKb, kb);
+    if (rssKb.size() >= 8) {
+        const std::size_t q = rssKb.size() / 4;
+        auto mean = [&](std::size_t begin, std::size_t end) {
+            double sum = 0;
+            for (std::size_t i = begin; i < end; ++i)
+                sum += static_cast<double>(rssKb[i]);
+            return sum / static_cast<double>(end - begin);
+        };
+        const double third = mean(rssKb.size() - 2 * q, rssKb.size() - q);
+        const double last = mean(rssKb.size() - q, rssKb.size());
+        if (third > 0)
+            rssGrowth = last / third - 1.0;
+    }
 
     const auto snapshot = telemetry::globalRegistry().snapshot();
     const telemetry::HistogramSnapshot *lat =
@@ -568,9 +824,16 @@ main(int argc, char **argv)
          << ", \"events\": " << tally.events.load()
          << ", \"records\": " << tally.records.load()
          << ", \"chaos\": " << (opt.chaos ? "true" : "false")
+         << ", \"adaptive\": " << (opt.adaptive ? "true" : "false")
+         << ", \"hchanges\": " << tally.hChanges.load()
          << ", \"kills\": " << tally.kills.load()
          << ", \"churns\": " << tally.churns.load()
          << ", \"skews\": " << tally.skews.load()
+         << ", \"hogs\": " << tally.hogs.load()
+         << ", \"floods\": " << tally.floods.load()
+         << ", \"sheds\": " << tally.sheds.load()
+         << ", \"rss_peak_kb\": " << rssPeakKb
+         << ", \"rss_growth\": " << rssGrowth
          << ", \"wall_ms\": " << wallMs << ", \"traces_per_sec\": "
          << (wallMs > 0 ? 1000.0 * tally.traces.load() / wallMs : 0.0)
          << ", \"events_per_sec\": "
@@ -600,7 +863,15 @@ main(int argc, char **argv)
                                 std::to_string(tally.churns.load()) +
                                 " churns, " +
                                 std::to_string(tally.skews.load()) +
-                                " skews"
+                                " skews, " +
+                                std::to_string(tally.hogs.load()) +
+                                " hogs, " +
+                                std::to_string(tally.floods.load()) +
+                                " floods"
+                          : "")
+                  << (opt.adaptive
+                          ? ", " + std::to_string(tally.hChanges.load()) +
+                                " h-changes"
                           : "")
                   << ")\n";
     return clean ? 0 : 1;

@@ -4,7 +4,8 @@
  *
  *   bfly_serve --unix /tmp/bfly.sock [--tcp PORT] [--workers N]
  *              [--shards N] [--reuseport] [--queue-kb K]
- *              [--budget-mb M] [--session-mb M] [--idle-ms T] [--quiet]
+ *              [--budget-mb M] [--session-mb M] [--idle-ms T]
+ *              [--adaptive] [--target-events N] [--quiet]
  *
  * Listens until SIGINT/SIGTERM, then prints a one-line stats summary.
  * Clients speak the wire protocol in src/service/wire.hpp; the stock
@@ -49,6 +50,10 @@ usage()
               << "  --budget-mb M   server-wide byte budget (MiB)\n"
               << "  --session-mb M  hard per-session cap (MiB)\n"
               << "  --idle-ms T     idle-session disconnect (0 = off)\n"
+              << "  --adaptive      online epoch sizing + graduated\n"
+              << "                  degradation ladder (see DESIGN.md)\n"
+              << "  --target-events N  adaptive: coalesce epochs until\n"
+              << "                  ~N events each (default 512)\n"
               << "  --quiet         suppress the startup banner\n";
 }
 
@@ -96,6 +101,11 @@ main(int argc, char **argv)
                 std::strtoull(value(), nullptr, 10) * 1024 * 1024;
         else if (arg == "--idle-ms")
             config.idleTimeoutMs = std::atoi(value());
+        else if (arg == "--adaptive")
+            config.mux.adaptive = true;
+        else if (arg == "--target-events")
+            config.mux.controller.targetEventsPerEpoch =
+                std::strtoull(value(), nullptr, 10);
         else if (arg == "--quiet")
             quiet = true;
         else {
@@ -107,6 +117,12 @@ main(int argc, char **argv)
         usage();
         return 2;
     }
+    // Adaptive without an explicit size target: default to merging
+    // toward ~512-event analyzed epochs so fine-grained tenants see a
+    // benefit even before pressure drives the degradation ladder.
+    if (config.mux.adaptive &&
+        config.mux.controller.targetEventsPerEpoch == 0)
+        config.mux.controller.targetEventsPerEpoch = 512;
 
     telemetry::setEnabled(true);
 
@@ -121,7 +137,11 @@ main(int argc, char **argv)
             std::cout << " unix=" << config.unixPath;
         if (config.tcp)
             std::cout << " tcp=127.0.0.1:" << server.tcpPort();
-        std::cout << " shards=" << server.shards() << std::endl;
+        std::cout << " shards=" << server.shards();
+        if (config.mux.adaptive)
+            std::cout << " adaptive=1 target_events="
+                      << config.mux.controller.targetEventsPerEpoch;
+        std::cout << std::endl;
     }
 
     std::signal(SIGINT, onSignal);
@@ -133,7 +153,9 @@ main(int argc, char **argv)
     std::cout << "bfly_serve: completed=" << server.sessionsCompleted()
               << " failed=" << server.sessionsFailed()
               << " busy_sent=" << server.busySent()
-              << " partial=" << server.partialReports() << std::endl;
+              << " partial=" << server.partialReports()
+              << " shed=" << server.sessionsShed()
+              << " hint_echoes=" << server.hintEchoes() << std::endl;
     for (const ShardStats &s : server.shardStats())
         std::cout << "bfly_serve: shard=" << s.shard
                   << " assigned=" << s.sessionsAssigned

@@ -182,12 +182,17 @@ RemoteReport::identical(const RemoteReport &other) const
 
 RemoteReport
 analyzeStreaming(const SessionSpec &spec, const Trace &trace,
-                 WorkerPool &pool, bool batch)
+                 WorkerPool &pool, bool batch,
+                 const EpochStream::ReslicePolicy &reslice,
+                 std::vector<std::uint32_t> *realized_spans)
 {
     EpochStream::Config cfg;
     cfg.windowEpochs = spec.windowEpochs;
     cfg.fromHeartbeats = true;
+    cfg.reslice = reslice;
     EpochStream stream(trace, cfg);
+    if (realized_spans)
+        *realized_spans = stream.realizedSpans();
 
     RemoteReport report = runLifeguard(
         spec, trace.numThreads(), stream.numEpochs(),

@@ -64,9 +64,19 @@ struct RemoteReport
  * (columnar) pass-1 kernels; reports are bit-identical either way, so
  * the flag is a server-side deployment knob (MuxConfig::batchMode), not
  * part of the wire protocol.
+ *
+ * @p reslice optionally coalesces the marker-delimited source epochs
+ * into coarser analyzed epochs (adaptive epoch sizing; see
+ * EpochStream::ReslicePolicy). When set, @p realized_spans (if non-null)
+ * receives the per-epoch merge widths actually chosen so the caller can
+ * advertise them (EpochHint) and rebuild the bit-identical reference
+ * with EpochLayout::coalescedFromHeartbeats.
  */
 RemoteReport analyzeStreaming(const SessionSpec &spec, const Trace &trace,
-                              WorkerPool &pool, bool batch = false);
+                              WorkerPool &pool, bool batch = false,
+                              const EpochStream::ReslicePolicy &reslice = {},
+                              std::vector<std::uint32_t> *realized_spans =
+                                  nullptr);
 
 /**
  * Reference path: sequential barrier schedule over a materialized

@@ -150,6 +150,24 @@ MonitorClient::run(const SessionSpec &spec, const Trace &marked_trace)
         return result;
     }
 
+    // A send failure usually means the server rejected us and closed;
+    // the Reject frame explaining why is still sitting in our receive
+    // buffer. Surface it instead of the bare "connection lost".
+    auto salvageReject = [&] {
+        std::string ignored;
+        (void)pump(false, ignored);
+        Frame frame;
+        while (parser_.next(frame) == DecodeStatus::Ok) {
+            if (frame.type != FrameType::Reject)
+                continue;
+            RejectInfo reject;
+            decodeReject(frame.payload, reject);
+            result.overloaded = reject.code == RejectCode::Overload;
+            result.error = "rejected: " + reject.message;
+            return;
+        }
+    };
+
     // Encode each thread's stream and carve it into chunk items. The
     // spans view the encoded vectors, which must outlive the send loop.
     std::vector<std::vector<std::uint8_t>> encoded;
@@ -171,8 +189,10 @@ MonitorClient::run(const SessionSpec &spec, const Trace &marked_trace)
 
     if (!sendAll(encodeFramed(FrameType::SessionOpen,
                               encodeSessionOpen(spec)),
-                 result.error))
+                 result.error)) {
+        salvageReject();
         return result;
+    }
 
     // Go-back-N send loop: cursor runs over the chunk items plus the
     // trailing TraceEnd (same sequence space). A Busy frame rewinds the
@@ -189,14 +209,18 @@ MonitorClient::run(const SessionSpec &spec, const Trace &marked_trace)
                 const auto payload =
                     encodeChunk({cursor, item.tid}, item.log);
                 if (!sendAll(encodeFramed(FrameType::LogChunk, payload),
-                             result.error))
+                             result.error)) {
+                    salvageReject();
                     return result;
+                }
                 ++cursor;
             } else {
                 if (!sendAll(encodeFramed(FrameType::TraceEnd,
                                           encodeTraceEnd(endSeq)),
-                             result.error))
+                             result.error)) {
+                    salvageReject();
                     return result;
+                }
                 allSent = true;
             }
         }
@@ -250,6 +274,7 @@ MonitorClient::run(const SessionSpec &spec, const Trace &marked_trace)
               case FrameType::Reject: {
                 RejectInfo reject;
                 decodeReject(frame.payload, reject);
+                result.overloaded = reject.code == RejectCode::Overload;
                 result.error = "rejected: " + reject.message;
                 return result;
               }
@@ -273,6 +298,27 @@ MonitorClient::run(const SessionSpec &spec, const Trace &marked_trace)
                 }
                 result.report.sos.insert(result.report.sos.end(),
                                          addrs.begin(), addrs.end());
+                break;
+              }
+              case FrameType::EpochHint: {
+                EpochHintInfo hint;
+                hint.spans = std::move(result.epochSpans);
+                if (decodeEpochHint(frame.payload, hint) !=
+                    DecodeStatus::Ok) {
+                    result.error = "bad EpochHint frame";
+                    return result;
+                }
+                result.epochSpans = std::move(hint.spans);
+                result.effectiveH = hint.effectiveH;
+                // Echo the frame back verbatim: the server counts which
+                // tenants consumed the sizing hint. Best-effort — the
+                // server may already have closed after the Summary, and
+                // the hint is advisory, so a failed echo is not a
+                // session failure.
+                std::string echo_error;
+                (void)sendAll(encodeFramed(FrameType::EpochHint,
+                                           frame.payload),
+                              echo_error);
                 break;
               }
               case FrameType::Summary: {

@@ -42,8 +42,29 @@ struct RunResult
     SummaryInfo summary;   ///< final frame (valid when ok)
     RemoteReport report;   ///< records/sos/fingerprint as streamed
     std::uint64_t busyRetries = 0; ///< Busy rewinds survived
+    /** The session was refused with RejectCode::Overload — the shard's
+     *  degradation ladder is shedding new sessions. Retry-later
+     *  semantics, distinct from a conformance failure. */
+    bool overloaded = false;
     std::uint64_t serverShards = 0; ///< reactor count from SessionAccept
     std::uint64_t sessionId = 0;    ///< id from SessionAccept (0 if none)
+    /** Realized epoch slicing advertised in EpochHint frames (adaptive
+     *  servers only; empty = source slicing). Feeding these to
+     *  EpochLayout::coalescedFromHeartbeats rebuilds the exact layout
+     *  the server analyzed. */
+    std::vector<std::uint32_t> epochSpans;
+    std::uint64_t effectiveH = 1;  ///< headline width from EpochHint
+
+    /** How often the realized epoch width changed mid-stream. */
+    std::uint64_t
+    hChanges() const
+    {
+        std::uint64_t n = 0;
+        for (std::size_t i = 1; i < epochSpans.size(); ++i)
+            if (epochSpans[i] != epochSpans[i - 1])
+                ++n;
+        return n;
+    }
 };
 
 /** One frame (header + payload) as a contiguous byte vector. */

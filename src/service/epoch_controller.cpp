@@ -1,0 +1,69 @@
+#include "service/epoch_controller.hpp"
+
+#include <algorithm>
+
+namespace bfly {
+
+const char *
+degradeLevelName(DegradeLevel level)
+{
+    switch (level) {
+    case DegradeLevel::Normal: return "normal";
+    case DegradeLevel::Grow2: return "grow2";
+    case DegradeLevel::Grow4: return "grow4";
+    case DegradeLevel::Grow8: return "grow8";
+    case DegradeLevel::Partial: return "partial";
+    case DegradeLevel::Busy: return "busy";
+    case DegradeLevel::Shed: return "shed";
+    }
+    return "?";
+}
+
+DegradeLevel
+EpochController::observe(const ControllerSample &sample)
+{
+    const double pressure =
+        std::max({sample.queueFraction, sample.budgetFraction,
+                  sample.partialRate});
+
+    if (pressure >= config_.upThreshold) {
+        coolStreak_ = 0;
+        if (++hotStreak_ >= config_.escalateAfter) {
+            hotStreak_ = 0;
+            if (level_ < DegradeLevel::Shed) {
+                level_ = static_cast<DegradeLevel>(
+                    static_cast<std::uint8_t>(level_) + 1);
+                ++escalations_;
+            }
+        }
+    } else if (pressure <= config_.downThreshold) {
+        hotStreak_ = 0;
+        if (++coolStreak_ >= config_.recoverAfter) {
+            coolStreak_ = 0;
+            if (level_ > DegradeLevel::Normal) {
+                level_ = static_cast<DegradeLevel>(
+                    static_cast<std::uint8_t>(level_) - 1);
+                ++recoveries_;
+            }
+        }
+    } else {
+        // Dead band: steady mid-range load neither climbs nor descends,
+        // so the ladder cannot oscillate around either threshold.
+        hotStreak_ = 0;
+        coolStreak_ = 0;
+    }
+    return level_;
+}
+
+std::size_t
+EpochController::coalesceFactor() const
+{
+    switch (level_) {
+    case DegradeLevel::Normal: return 1;
+    case DegradeLevel::Grow2: return 2;
+    case DegradeLevel::Grow4: return 4;
+    default: return 8;
+    }
+}
+
+} // namespace bfly

@@ -20,6 +20,11 @@ namespace {
 constexpr std::size_t kReadChunk = 64 * 1024;
 constexpr std::size_t kRecordsPerFrame = 4096;
 constexpr std::size_t kSosPerFrame = 8192;
+constexpr std::size_t kSpansPerFrame = 8192;
+/** How long a drained connection whose report carried EpochHint frames
+ *  stays open waiting for the client's advisory echo. Bounded: a client
+ *  that neither echoes nor closes costs one linger, not a leak. */
+constexpr std::int64_t kEchoLingerMs = 250;
 
 bool
 setNonBlocking(int fd)
@@ -293,16 +298,27 @@ MonitorServer::reactorLoop(Reactor &r)
             if (it == r.connections.end())
                 continue;
             Connection &conn = it->second;
-            if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+            if (fds[i].revents & (POLLERR | POLLNVAL)) {
                 doomed.push_back(conn.fd);
                 continue;
             }
+            // POLLHUP often arrives together with POLLIN when the peer
+            // wrote its last frames and closed in one breath; the bytes
+            // are still buffered in the kernel, so read first and let
+            // handleReadable's EOF path parse them (a final EpochHint
+            // echo rides ahead of the FIN). Doom on a bare HUP only.
             if (fds[i].revents & POLLIN)
                 handleReadable(r, conn);
+            else if (fds[i].revents & POLLHUP) {
+                doomed.push_back(conn.fd);
+                continue;
+            }
             if (fds[i].revents & POLLOUT)
                 flush(conn);
-            if (conn.fd < 0 ||
-                (conn.wantClose && conn.out.size() == conn.outPos))
+            const bool drained = conn.out.size() == conn.outPos;
+            if (conn.fd < 0 || (conn.wantClose && drained) ||
+                (conn.lingerUntilMs != 0 && drained &&
+                 nowMs() >= conn.lingerUntilMs))
                 doomed.push_back(it->first);
         }
         for (int fd : doomed)
@@ -312,8 +328,11 @@ MonitorServer::reactorLoop(Reactor &r)
             checkIdle(r);
 
         // Idle tick of the budget rebalance: a shard with nothing to
-        // serve returns its excess slice to the shared pool.
+        // serve returns its excess slice to the shared pool. The shard
+        // ladder ticks here too, so a Shed rung entered under abuse can
+        // recover even after the abusive sessions are gone.
         r.mux->donateIdleBudget();
+        r.mux->tickShardController();
     }
 }
 
@@ -375,11 +394,13 @@ MonitorServer::handleReadable(Reactor &r, Connection &conn)
     for (;;) {
         const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
         if (n == 0) {
-            // Peer closed: anything not yet completed is abandoned.
+            // Peer closed: anything not yet completed is abandoned, but
+            // bytes that rode ahead of the EOF (a final EpochHint echo)
+            // still get parsed below.
             conn.wantClose = true;
             conn.out.clear();
             conn.outPos = 0;
-            return;
+            break;
         }
         if (n < 0)
             break; // EAGAIN (or a real error surfacing via poll later)
@@ -426,6 +447,15 @@ MonitorServer::handleFrame(Reactor &r, Connection &conn, const Frame &frame)
         if (decodeSessionOpen(frame.payload, spec) != DecodeStatus::Ok ||
             spec.lifeguard > 5 || spec.memModel > 1) {
             reject(RejectCode::Protocol, "bad SessionOpen");
+            return;
+        }
+        if (r.mux->shedNewSessions()) {
+            // Top rung of the graduated ladder: the shard is saturated
+            // past what coarser epochs, Partial summaries and Busy
+            // back-pressure can absorb, so new tenants are turned away
+            // while existing ones drain.
+            r.shed.fetch_add(1, std::memory_order_relaxed);
+            reject(RejectCode::Overload, "shard shedding load");
             return;
         }
         conn.sessionId = r.mux->open(spec, conn.assignedId);
@@ -498,6 +528,17 @@ MonitorServer::handleFrame(Reactor &r, Connection &conn, const Frame &frame)
       case FrameType::Heartbeat:
         sendFrame(conn, FrameType::Heartbeat, {});
         return;
+      case FrameType::EpochHint: {
+        // The client echoing our advisory epoch-sizing frame back; count
+        // it (which tenants consumed the hint) and move on. The payload
+        // is advisory either way, so a stale or garbled echo is not a
+        // protocol error. If the connection was lingering for exactly
+        // this, the linger is over.
+        r.hintEchoes.fetch_add(1, std::memory_order_relaxed);
+        if (conn.lingerUntilMs != 0)
+            conn.wantClose = true;
+        return;
+      }
       default:
         reject(RejectCode::Protocol, "unexpected frame type");
         return;
@@ -524,11 +565,15 @@ MonitorServer::drainCompletions(Reactor &r)
             r.failed.fetch_add(1, std::memory_order_relaxed);
             const auto payload = encodeReject(result.reject);
             sendFrame(conn, FrameType::Reject, payload);
+            conn.wantClose = true;
         } else {
             r.completed.fetch_add(1, std::memory_order_relaxed);
             sendReport(r, conn, result);
+            if (result.realizedSpans.empty())
+                conn.wantClose = true;
+            else
+                conn.lingerUntilMs = nowMs() + kEchoLingerMs;
         }
-        conn.wantClose = true;
         flush(conn);
     }
 }
@@ -543,14 +588,44 @@ MonitorServer::sendReport(Reactor &r, Connection &conn,
     // itself always fits (the cap is clamped far above one frame).
     const std::size_t cap =
         std::max<std::size_t>(config_.maxOutboundBytes, 4096);
-    bool truncated = false;
 
     auto room = [&](std::size_t bytes) {
         return conn.out.size() - conn.outPos + bytes + kFrameHeaderBytes <=
                cap - 1024; // reserve space for the Summary frame
     };
 
-    for (std::size_t i = 0; i < report.records.size();
+    // Adaptive runs advertise the realized epoch slicing first, so the
+    // client can rebuild the bit-identical reference layout before the
+    // records arrive. Purely advisory: a client that does not know the
+    // frame skips it.
+    if (!result.realizedSpans.empty()) {
+        std::uint64_t effective_h = 1;
+        for (const std::uint32_t k : result.realizedSpans)
+            effective_h = std::max<std::uint64_t>(effective_h, k);
+        for (std::size_t i = 0; i < result.realizedSpans.size();
+             i += kSpansPerFrame) {
+            const std::size_t n = std::min(
+                kSpansPerFrame, result.realizedSpans.size() - i);
+            EpochHintInfo hint;
+            hint.effectiveH = effective_h;
+            hint.spans.assign(result.realizedSpans.begin() +
+                                  static_cast<std::ptrdiff_t>(i),
+                              result.realizedSpans.begin() +
+                                  static_cast<std::ptrdiff_t>(i + n));
+            const auto payload = encodeEpochHint(hint);
+            if (!room(payload.size()))
+                break; // advisory — never worth truncating the report for
+            sendFrame(conn, FrameType::EpochHint, payload);
+        }
+    }
+
+    // A session degraded to Partial ships only the Summary (the
+    // fingerprint still witnesses the full analysis): the report body is
+    // the expensive part of a slow tenant's egress.
+    bool truncated = result.degradePartial;
+
+    for (std::size_t i = 0;
+         !truncated && i < report.records.size();
          i += kRecordsPerFrame) {
         const std::size_t n =
             std::min(kRecordsPerFrame, report.records.size() - i);
@@ -694,6 +769,24 @@ MonitorServer::partialReports() const
     return sum;
 }
 
+std::uint64_t
+MonitorServer::sessionsShed() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &r : reactors_)
+        sum += r->shed.load(std::memory_order_relaxed);
+    return sum;
+}
+
+std::uint64_t
+MonitorServer::hintEchoes() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &r : reactors_)
+        sum += r->hintEchoes.load(std::memory_order_relaxed);
+    return sum;
+}
+
 std::size_t
 MonitorServer::globalBytes() const
 {
@@ -727,6 +820,8 @@ MonitorServer::shardStats() const
         s.failed = r->failed.load(std::memory_order_relaxed);
         s.busySent = r->busySent.load(std::memory_order_relaxed);
         s.partialReports = r->partial.load(std::memory_order_relaxed);
+        s.sessionsShed = r->shed.load(std::memory_order_relaxed);
+        s.hintEchoes = r->hintEchoes.load(std::memory_order_relaxed);
         if (r->mux) {
             s.globalBytes = r->mux->globalBytes();
             s.activeSessions = r->mux->activeSessions();
@@ -734,6 +829,7 @@ MonitorServer::shardStats() const
             s.budgetSteals = r->mux->budgetSteals();
             s.budgetStolenBytes = r->mux->budgetStolenBytes();
             s.budgetDonatedBytes = r->mux->budgetDonatedBytes();
+            s.degradeLevel = r->mux->shardLevel();
         }
         out.push_back(s);
     }

@@ -97,6 +97,9 @@ struct ShardStats
     std::uint64_t budgetSteals = 0;
     std::size_t budgetStolenBytes = 0;
     std::size_t budgetDonatedBytes = 0;
+    std::uint64_t sessionsShed = 0;  ///< SessionOpens refused (Overload)
+    std::uint64_t hintEchoes = 0;    ///< EpochHint frames echoed back
+    DegradeLevel degradeLevel = DegradeLevel::Normal;
 };
 
 class MonitorServer
@@ -130,6 +133,8 @@ class MonitorServer
     std::uint64_t sessionsFailed() const;
     std::uint64_t busySent() const;
     std::uint64_t partialReports() const;
+    std::uint64_t sessionsShed() const;
+    std::uint64_t hintEchoes() const;
     std::size_t globalBytes() const;
     std::size_t activeSessions() const;
 
@@ -148,6 +153,12 @@ class MonitorServer
         std::vector<std::uint8_t> out;
         std::size_t outPos = 0;
         bool wantClose = false; ///< close once the out buffer drains
+        /** Nonzero: the report carried EpochHint frames, so hold the
+         *  drained connection open until this deadline to harvest the
+         *  client's advisory echo (loopback clients lose the race
+         *  against an immediate close). Peer close or the echo itself
+         *  ends the linger early. */
+        std::int64_t lingerUntilMs = 0;
         bool open = false;      ///< SessionOpen accepted
         std::uint64_t sessionId = 0;
         /** Server-global id preassigned at accept; becomes sessionId
@@ -179,6 +190,8 @@ class MonitorServer
         std::atomic<std::uint64_t> failed{0};
         std::atomic<std::uint64_t> busySent{0};
         std::atomic<std::uint64_t> partial{0};
+        std::atomic<std::uint64_t> shed{0};
+        std::atomic<std::uint64_t> hintEchoes{0};
     };
 
     void reactorLoop(Reactor &r);

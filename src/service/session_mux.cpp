@@ -23,6 +23,8 @@ struct MuxMetrics
     telemetry::MetricId analysisEpochs;
     telemetry::MetricId analysisRecords;
     telemetry::MetricId analysisSos;
+    telemetry::MetricId coalescedEpochs;
+    telemetry::MetricId hChanges;
 
     static const MuxMetrics &
     get()
@@ -36,6 +38,9 @@ struct MuxMetrics
             x.analysisEpochs = r.counter("bfly.service.session.epochs");
             x.analysisRecords = r.counter("bfly.service.session.records");
             x.analysisSos = r.counter("bfly.service.session.sos");
+            x.coalescedEpochs =
+                r.counter("bfly.service.session.coalesced_epochs");
+            x.hChanges = r.counter("bfly.service.session.h_changes");
             return x;
         }();
         return m;
@@ -77,6 +82,12 @@ struct SessionMux::Session
     /** Bytes currently charged against the mux's global budget. */
     std::size_t accounted = 0;
 
+    /** Per-tenant degradation ladder (adaptive mode only). Mutated under
+     *  `mutex` during admission; quiescent once draining is set (late
+     *  frames are Ignored before they reach it), so the analysis task
+     *  may read it without the lock. */
+    EpochController controller;
+
     /** The session's private telemetry registry (multi-tenancy). */
     telemetry::MetricsRegistry metrics;
 };
@@ -107,6 +118,7 @@ SessionMux::SessionMux(WorkerPool &pool, const MuxConfig &config,
     baseBudgetBytes_ = shard_budget_bytes > 0 ? shard_budget_bytes
                                               : config_.globalBudgetBytes;
     budgetBytes_.store(baseBudgetBytes_, std::memory_order_relaxed);
+    shardController_ = EpochController(config_.controller);
 }
 
 SessionMux::~SessionMux()
@@ -121,6 +133,7 @@ SessionMux::open(const SessionSpec &spec, std::uint64_t preassigned_id)
     session->spec = spec;
     session->decoders.resize(spec.numThreads);
     session->decoded.resize(spec.numThreads);
+    session->controller = EpochController(config_.controller);
 
     std::lock_guard<std::mutex> lock(mutex_);
     if (preassigned_id != 0) {
@@ -167,6 +180,37 @@ SessionMux::submitChunk(std::uint64_t session_id, const ChunkHeader &header,
             return Admission::Ignored;
         if (header.seq != session->expectedSeq)
             return Admission::Ignored; // go-back-N flood after a shed
+
+        if (config_.adaptive && header.tid < session->spec.numThreads) {
+            // Graduated admission: each in-sequence chunk is one
+            // telemetry sample for the tenant's ladder and the shard's.
+            // At Busy and beyond, back-pressure kicks in well before the
+            // hard watermark would; the Grow/Partial rungs act later, at
+            // analysis time.
+            ControllerSample sample;
+            sample.queueFraction =
+                static_cast<double>(session->queuedBytes) /
+                static_cast<double>(config_.sessionQueueBytes);
+            const std::size_t budget =
+                budgetBytes_.load(std::memory_order_relaxed);
+            sample.budgetFraction =
+                budget == 0
+                    ? 1.0
+                    : static_cast<double>(
+                          globalBytes_.load(std::memory_order_relaxed)) /
+                          static_cast<double>(budget);
+            const DegradeLevel level =
+                session->controller.observe(sample);
+            {
+                std::lock_guard<std::mutex> ctl(shardCtlMutex_);
+                shardController_.observe(sample);
+            }
+            if (level >= DegradeLevel::Busy) {
+                busy = {BusyReason::SessionQueueFull, header.seq,
+                        config_.busyRetryMs};
+                return Admission::Busy;
+            }
+        }
 
         if (header.tid >= session->spec.numThreads) {
             session->failed = true;
@@ -391,6 +435,7 @@ SessionMux::analyze(const std::shared_ptr<Session> &session)
     telemetry::ScopedRegistry scoped(&session->metrics);
 
     Trace trace;
+    DegradeLevel level = DegradeLevel::Normal;
     {
         std::lock_guard<std::mutex> lock(session->mutex);
         if (session->failed || session->aborted)
@@ -400,13 +445,67 @@ SessionMux::analyze(const std::shared_ptr<Session> &session)
             trace.threads[t].tid = t;
             trace.threads[t].events = std::move(session->decoded[t]);
         }
+        level = session->controller.level();
+    }
+
+    // Adaptive epoch sizing: pick the coalescing policy the stream will
+    // consult per epoch group. The ladder's Grow rungs set a floor, the
+    // size target merges marker-dense streams up to the analysis sweet
+    // spot, and the force-cycle hook deterministically exercises every
+    // width so the differential harness can prove bit-identity across
+    // h-changes.
+    EpochStream::ReslicePolicy reslice;
+    bool degrade_partial = false;
+    if (config_.adaptive) {
+        degrade_partial = level >= DegradeLevel::Partial;
+        if (config_.adaptiveForceCycle) {
+            auto group = std::make_shared<std::size_t>(0);
+            reslice = [group](EpochId, std::span<const std::size_t>) {
+                static constexpr std::size_t kCycle[4] = {1, 2, 4, 8};
+                return kCycle[(*group)++ % 4];
+            };
+        } else {
+            const std::size_t floor_k = [&] {
+                std::lock_guard<std::mutex> lock(session->mutex);
+                return session->controller.coalesceFactor();
+            }();
+            const ControllerConfig ctl = config_.controller;
+            if (floor_k > 1 || ctl.targetEventsPerEpoch > 0) {
+                reslice = [floor_k, ctl](
+                              EpochId leader,
+                              std::span<const std::size_t> events) {
+                    std::size_t k = floor_k;
+                    if (ctl.targetEventsPerEpoch > 0) {
+                        std::size_t sum = 0, grow = 0;
+                        while (leader + grow < events.size() &&
+                               grow < ctl.maxCoalesce &&
+                               sum < ctl.targetEventsPerEpoch)
+                            sum += events[leader + grow++];
+                        k = std::max(k, grow);
+                    }
+                    return std::min(k, std::max<std::size_t>(
+                                           ctl.maxCoalesce, 1));
+                };
+            }
+        }
     }
 
     // The pipelined schedule's task graph dispatches on the shared pool;
     // its GraphRunner waits on its own TaskGroup, so concurrent sessions
     // never steal each other's completion signal.
+    std::vector<std::uint32_t> spans;
     RemoteReport report =
-        analyzeStreaming(session->spec, trace, pool_, config_.batchMode);
+        analyzeStreaming(session->spec, trace, pool_, config_.batchMode,
+                         reslice, reslice ? &spans : nullptr);
+
+    std::uint64_t h_changes = 0;
+    std::uint64_t coalesced = 0;
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        if (spans[i] > 1)
+            coalesced += spans[i] - 1;
+        if (i > 0 && spans[i] != spans[i - 1])
+            ++h_changes;
+    }
 
     if (telemetry::enabled()) {
         const MuxMetrics &metrics = MuxMetrics::get();
@@ -414,6 +513,8 @@ SessionMux::analyze(const std::shared_ptr<Session> &session)
         r.add(metrics.analysisEpochs, report.epochs);
         r.add(metrics.analysisRecords, report.records.size());
         r.add(metrics.analysisSos, report.sos.size());
+        r.add(metrics.coalescedEpochs, coalesced);
+        r.add(metrics.hChanges, h_changes);
     }
 
     {
@@ -427,6 +528,9 @@ SessionMux::analyze(const std::shared_ptr<Session> &session)
     SessionResult result;
     result.sessionId = session->id;
     result.report = std::move(report);
+    result.realizedSpans = std::move(spans);
+    result.hChanges = h_changes;
+    result.degradePartial = degrade_partial;
     result.metrics = session->metrics.snapshot();
     publish(std::move(result));
 }
@@ -568,6 +672,46 @@ std::size_t
 SessionMux::budgetDonatedBytes() const
 {
     return donatedBytes_.load(std::memory_order_relaxed);
+}
+
+DegradeLevel
+SessionMux::shardLevel() const
+{
+    if (!config_.adaptive)
+        return DegradeLevel::Normal;
+    std::lock_guard<std::mutex> lock(shardCtlMutex_);
+    return shardController_.level();
+}
+
+bool
+SessionMux::shedNewSessions() const
+{
+    return shardLevel() >= DegradeLevel::Shed;
+}
+
+void
+SessionMux::tickShardController()
+{
+    if (!config_.adaptive)
+        return;
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(shardCtlMutex_);
+    if (now - lastCtlTick_ < std::chrono::milliseconds(100))
+        return;
+    lastCtlTick_ = now;
+    // Queue fractions are per-session; what outlives every session is
+    // the accounted-bytes occupancy, so the tick judges pressure by the
+    // budget alone. An abusive tenant's parked bytes keep the sample
+    // hot; an abort that reclaims them lets the ladder walk back down.
+    ControllerSample sample;
+    const std::size_t budget =
+        budgetBytes_.load(std::memory_order_relaxed);
+    sample.budgetFraction =
+        budget == 0 ? 1.0
+                    : static_cast<double>(
+                          globalBytes_.load(std::memory_order_relaxed)) /
+                          static_cast<double>(budget);
+    shardController_.observe(sample);
 }
 
 } // namespace bfly::service

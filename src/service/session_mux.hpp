@@ -40,6 +40,7 @@
 #define BUTTERFLY_SERVICE_SESSION_MUX_HPP
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -49,6 +50,7 @@
 
 #include "common/worker_pool.hpp"
 #include "service/analyzer.hpp"
+#include "service/epoch_controller.hpp"
 #include "service/wire.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -90,6 +92,20 @@ struct MuxConfig
      *  the scalar kernels, so this is not part of the wire protocol —
      *  clients cannot observe it. */
     bool batchMode = false;
+    /** Adaptive epoch sizing + graduated admission: per-session and
+     *  per-shard EpochControllers replace the single queue-watermark
+     *  cliff with the grow-h → Partial → Busy → Shed ladder, and the
+     *  realized epoch spans are surfaced in SessionResult so the server
+     *  can advertise them (EpochHint). Off by default — the legacy
+     *  admission path is untouched when false. */
+    bool adaptive = false;
+    /** Test/chaos hook: ignore telemetry and cycle the coalescing width
+     *  1→2→4→8 per epoch group, guaranteeing several h-changes within
+     *  every session regardless of load (the differential harness then
+     *  proves bit-identity across every adaptation point). */
+    bool adaptiveForceCycle = false;
+    /** Ladder thresholds and the size-driven coalescing target. */
+    ControllerConfig controller;
 };
 
 /** Verdict of one admission attempt. */
@@ -107,6 +123,13 @@ struct SessionResult
     bool failed = false;
     RejectInfo reject;   ///< valid when failed
     RemoteReport report; ///< valid when !failed
+    /** Realized per-epoch source spans (adaptive runs; empty = source
+     *  slicing). The server forwards these in EpochHint frames. */
+    std::vector<std::uint32_t> realizedSpans;
+    /** How often the realized merge width changed mid-stream. */
+    std::uint64_t hChanges = 0;
+    /** Session degraded to Partial: ship only the Summary fingerprint. */
+    bool degradePartial = false;
     /** Snapshot of the session's private telemetry registry. */
     telemetry::RegistrySnapshot metrics;
 };
@@ -192,6 +215,21 @@ class SessionMux
     std::size_t budgetStolenBytes() const;
     std::size_t budgetDonatedBytes() const;
 
+    /** Shard-wide degradation rung (Normal when not adaptive). */
+    DegradeLevel shardLevel() const;
+
+    /** True when the adaptive ladder says new sessions must be shed
+     *  (the server answers SessionOpen with RejectCode::Overload). */
+    bool shedNewSessions() const;
+
+    /** Reactor idle tick for the shard ladder: feed it a sample built
+     *  from the shard's current budget occupancy. Without this a shard
+     *  that escalated to Shed while its last sessions drained would
+     *  never observe another admission sample — and so never recover.
+     *  Rate-limited internally to one sample per 100ms; no-op when not
+     *  adaptive. */
+    void tickShardController();
+
   private:
     static void pumpTrampoline(void *ctx, std::size_t);
     void pump(const std::shared_ptr<Session> &session);
@@ -229,6 +267,13 @@ class SessionMux
     std::atomic<std::uint64_t> steals_{0};
     std::atomic<std::size_t> stolenBytes_{0};
     std::atomic<std::size_t> donatedBytes_{0};
+
+    /** Shard-wide ladder fed by every session's admission samples.
+     *  Guarded by its own mutex (taken after a session mutex, never
+     *  before — the only nesting order used). */
+    mutable std::mutex shardCtlMutex_;
+    EpochController shardController_;
+    std::chrono::steady_clock::time_point lastCtlTick_{};
 
     mutable std::mutex mutex_; ///< guards sessions_ and nextId_
     std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions_;

@@ -11,6 +11,7 @@ namespace {
  *  counts claimed by a length prefix before the elements are read). */
 constexpr std::uint64_t kMaxRecordsPerFrame = 1u << 16;
 constexpr std::uint64_t kMaxSosPerFrame = 1u << 17;
+constexpr std::uint64_t kMaxSpansPerFrame = 1u << 16;
 
 /** Bounds-checked little-endian / varint writer. */
 struct Writer
@@ -131,6 +132,7 @@ frameTypeName(FrameType type)
       case FrameType::ErrorReport: return "ErrorReport";
       case FrameType::Sos: return "Sos";
       case FrameType::Summary: return "Summary";
+      case FrameType::EpochHint: return "EpochHint";
     }
     return "?";
 }
@@ -169,7 +171,7 @@ FrameParser::next(Frame &out)
     const std::uint8_t *p = buffer_.data() + consumed_;
     const std::uint8_t type = p[0];
     if (type < static_cast<std::uint8_t>(FrameType::SessionOpen) ||
-        type > static_cast<std::uint8_t>(FrameType::Summary)) {
+        type > static_cast<std::uint8_t>(FrameType::EpochHint)) {
         corrupt_ = true;
         return DecodeStatus::Corrupt;
     }
@@ -330,7 +332,7 @@ decodeReject(std::span<const std::uint8_t> payload, RejectInfo &out)
     Reader r{payload};
     std::uint8_t code = 0;
     std::uint64_t len = 0;
-    if (!r.getU8(code) || !r.getVarint(len) || code < 1 || code > 5 ||
+    if (!r.getU8(code) || !r.getVarint(len) || code < 1 || code > 6 ||
         len > r.remaining())
         return DecodeStatus::Corrupt;
     out.code = static_cast<RejectCode>(code);
@@ -440,6 +442,37 @@ decodeSummary(std::span<const std::uint8_t> payload, SummaryInfo &out)
         return DecodeStatus::Corrupt;
     out.status = static_cast<SummaryStatus>(status);
     return DecodeStatus::Ok;
+}
+
+std::vector<std::uint8_t>
+encodeEpochHint(const EpochHintInfo &info)
+{
+    Writer w;
+    w.putVarint(info.effectiveH);
+    w.putVarint(info.spans.size());
+    for (const std::uint32_t k : info.spans)
+        w.putVarint(k);
+    return std::move(w.out);
+}
+
+DecodeStatus
+decodeEpochHint(std::span<const std::uint8_t> payload, EpochHintInfo &out)
+{
+    Reader r{payload};
+    std::uint64_t count = 0;
+    if (!r.getVarint(out.effectiveH) || !r.getVarint(count) ||
+        count > kMaxSpansPerFrame)
+        return DecodeStatus::Corrupt;
+    out.spans.reserve(out.spans.size() + static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t k = 0;
+        // A span merges at least one source epoch, and a frame-sized
+        // bound keeps a hostile varint from claiming absurd widths.
+        if (!r.getVarint(k) || k == 0 || k > 1u << 20)
+            return DecodeStatus::Corrupt;
+        out.spans.push_back(static_cast<std::uint32_t>(k));
+    }
+    return statusOf(true, r);
 }
 
 } // namespace bfly::service

@@ -35,9 +35,12 @@
 namespace bfly::service {
 
 /** Protocol revision carried in SessionOpen. v2 added shardCount to
- *  SessionAccept (servers reject other versions, so both ends move
- *  together — the repo ships client and server from one tree). */
-inline constexpr std::uint8_t kWireVersion = 2;
+ *  SessionAccept; v3 added the EpochHint frame (advisory epoch-sizing
+ *  feedback — a peer that does not understand it may simply skip it)
+ *  and RejectCode::Overload (servers reject other versions, so both
+ *  ends move together — the repo ships client and server from one
+ *  tree). */
+inline constexpr std::uint8_t kWireVersion = 3;
 
 /** Hard cap on one frame's payload (bounds every inbound allocation). */
 inline constexpr std::size_t kMaxFramePayload = 1u << 20;
@@ -56,6 +59,10 @@ enum class FrameType : std::uint8_t {
     ErrorReport,      ///< server->client: a batch of error records
     Sos,              ///< server->client: a batch of final-SOS addresses
     Summary,          ///< server->client: final frame of a session
+    EpochHint,        ///< v3, advisory: server->client: realized epoch
+                      ///< sizing (effective h + per-epoch source spans);
+                      ///< clients echo it back so the server can tell
+                      ///< which tenants consumed the hint
 };
 
 const char *frameTypeName(FrameType type);
@@ -73,6 +80,7 @@ enum class RejectCode : std::uint8_t {
     CorruptLog = 3, ///< log bytes failed to decode
     Internal = 4,   ///< server-side failure
     Timeout = 5,    ///< client went silent / stopped reading
+    Overload = 6,   ///< v3: shard shedding load; retry another time/shard
 };
 
 /** How a session ended (Summary frames). */
@@ -153,6 +161,19 @@ struct RejectInfo
     std::string message;
 };
 
+/**
+ * Realized epoch sizing of a session (EpochHint frames). `spans[i]` is
+ * how many source (marker-delimited) epochs were merged into analyzed
+ * epoch i; `effectiveH` is the advisory headline number (the largest
+ * realized merge width). A session's spans may arrive split over
+ * several frames; clients concatenate them in order.
+ */
+struct EpochHintInfo
+{
+    std::uint64_t effectiveH = 1;
+    std::vector<std::uint32_t> spans;
+};
+
 struct SummaryInfo
 {
     SummaryStatus status = SummaryStatus::Complete;
@@ -176,6 +197,7 @@ std::vector<std::uint8_t>
 encodeErrorReport(std::span<const ErrorRecord> records);
 std::vector<std::uint8_t> encodeSos(std::span<const Addr> addrs);
 std::vector<std::uint8_t> encodeSummary(const SummaryInfo &info);
+std::vector<std::uint8_t> encodeEpochHint(const EpochHintInfo &info);
 
 DecodeStatus decodeSessionOpen(std::span<const std::uint8_t> payload,
                                SessionSpec &out);
@@ -197,6 +219,9 @@ DecodeStatus decodeSos(std::span<const std::uint8_t> payload,
                        std::vector<Addr> &out);
 DecodeStatus decodeSummary(std::span<const std::uint8_t> payload,
                            SummaryInfo &out);
+/** On Ok, the decoded spans are *appended* to out.spans (frames chain). */
+DecodeStatus decodeEpochHint(std::span<const std::uint8_t> payload,
+                             EpochHintInfo &out);
 
 } // namespace bfly::service
 

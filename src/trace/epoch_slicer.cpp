@@ -75,6 +75,40 @@ heartbeatStarts(const Trace &trace,
     return max_epochs;
 }
 
+/**
+ * Rewrite a padded boundary table (every thread numEpochs+1 entries) to
+ * the coalesced slicing: analyzed epoch i spans spans[i] consecutive
+ * source epochs, so its block simply runs from the first merged source
+ * epoch's start to the start right past the last one. Shared by
+ * EpochLayout::coalescedFromHeartbeats and EpochStream's reslice path
+ * so both sides realize the identical boundary table.
+ */
+void
+coalesceStarts(std::vector<std::vector<std::size_t>> &starts,
+               std::size_t num_epochs,
+               std::span<const std::uint32_t> spans)
+{
+    std::size_t total = 0;
+    for (const std::uint32_t k : spans) {
+        ensure(k >= 1, "coalescing spans must be positive");
+        total += k;
+    }
+    ensure(total == num_epochs,
+           "coalescing spans must cover every source epoch exactly once");
+
+    for (auto &s : starts) {
+        std::vector<std::size_t> merged;
+        merged.reserve(spans.size() + 1);
+        std::size_t cum = 0;
+        merged.push_back(s[0]);
+        for (const std::uint32_t k : spans) {
+            cum += k;
+            merged.push_back(s[cum]);
+        }
+        s = std::move(merged);
+    }
+}
+
 } // namespace
 
 EpochLayout::EpochLayout(const Trace &trace, std::size_t num_epochs,
@@ -114,6 +148,36 @@ EpochLayout::fromHeartbeats(const Trace &trace)
         max_epochs = std::max(max_epochs, starts[t].size() - 1);
     }
     return EpochLayout(trace, max_epochs, std::move(starts),
+                       std::move(filtered));
+}
+
+EpochLayout
+EpochLayout::coalescedFromHeartbeats(const Trace &trace,
+                                     std::span<const std::uint32_t> spans)
+{
+    std::vector<std::vector<std::size_t>> starts(trace.threads.size());
+    std::vector<std::vector<Event>> filtered(trace.threads.size());
+    std::size_t max_epochs = 0;
+
+    for (std::size_t t = 0; t < trace.threads.size(); ++t) {
+        starts[t].push_back(0);
+        for (const Event &e : trace.threads[t].events) {
+            if (e.kind == EventKind::Heartbeat)
+                starts[t].push_back(filtered[t].size());
+            else
+                filtered[t].push_back(e);
+        }
+        starts[t].push_back(filtered[t].size());
+        max_epochs = std::max(max_epochs, starts[t].size() - 1);
+    }
+    // The coalescing transform needs the padded table (the private
+    // constructor would normally pad after the fact).
+    for (auto &s : starts) {
+        while (s.size() < max_epochs + 1)
+            s.push_back(s.back());
+    }
+    coalesceStarts(starts, max_epochs, spans);
+    return EpochLayout(trace, spans.size(), std::move(starts),
                        std::move(filtered));
 }
 
@@ -248,6 +312,31 @@ EpochStream::EpochStream(const Trace &trace, Config config)
     for (auto &s : starts_) {
         while (s.size() < numEpochs_ + 1)
             s.push_back(s.back());
+    }
+    sourceEpochs_ = numEpochs_;
+
+    if (config.reslice && numEpochs_ > 0) {
+        // Consult the policy once per group, in leader order. Each call
+        // may sample live pressure, so the merge width can change from
+        // group to group — the "h changes mid-stream" the adaptive
+        // service advertises via EpochHint frames. Merging whole source
+        // epochs keeps every realized boundary a heartbeat boundary, so
+        // the 3-epoch window invariants hold on the coarsened slicing
+        // exactly as they did on the source slicing.
+        std::vector<std::size_t> epoch_events(numEpochs_, 0);
+        for (const auto &s : starts_)
+            for (std::size_t l = 0; l < numEpochs_; ++l)
+                epoch_events[l] += s[l + 1] - s[l];
+
+        std::size_t leader = 0;
+        while (leader < numEpochs_) {
+            std::size_t k = config.reslice(leader, epoch_events);
+            k = std::clamp<std::size_t>(k, 1, numEpochs_ - leader);
+            spans_.push_back(static_cast<std::uint32_t>(k));
+            leader += k;
+        }
+        coalesceStarts(starts_, numEpochs_, spans_);
+        numEpochs_ = spans_.size();
     }
 
     tids_.reserve(trace.threads.size());

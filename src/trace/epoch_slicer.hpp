@@ -24,6 +24,8 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -99,6 +101,22 @@ class EpochLayout
                                          std::size_t max_skew,
                                          std::uint64_t seed);
 
+    /**
+     * The heartbeat slicing of @p trace coarsened by @p spans: analyzed
+     * epoch i merges spans[i] consecutive source (marker-delimited)
+     * epochs, so sum(spans) must equal the marker epoch count. This is
+     * the reference layout for an adaptive EpochStream run: rebuilding
+     * it from the stream's realizedSpans() yields the exact boundary
+     * table the stream analyzed, making remote and reference reports
+     * bit-identical by construction. Merging markers only coarsens the
+     * epoch structure (equivalent to the platform skipping heartbeats),
+     * which is the butterfly's conservative direction — a merged
+     * slicing can never introduce false negatives.
+     */
+    static EpochLayout
+    coalescedFromHeartbeats(const Trace &trace,
+                            std::span<const std::uint32_t> spans);
+
     std::size_t numEpochs() const { return numEpochs_; }
     std::size_t numThreads() const { return starts_.size(); }
 
@@ -156,6 +174,19 @@ class EpochLayout
 class EpochStream
 {
   public:
+    /**
+     * Decides, for the analyzed epoch whose first source epoch is
+     * @p leader, how many consecutive source epochs to merge into it.
+     * @p epoch_events holds the per-source-epoch event counts (summed
+     * over threads) so size-targeting policies can look ahead. Return
+     * values are clamped to [1, epoch_events.size() - leader]; the
+     * policy is consulted once per group, in leader order, when the
+     * stream is constructed — each call may sample live telemetry, so
+     * the realized slicing can vary group by group within one stream.
+     */
+    using ReslicePolicy = std::function<std::size_t(
+        EpochId leader, std::span<const std::size_t> epoch_events)>;
+
     struct Config
     {
         /** Events per epoch across all threads (byGlobalSeq's H).
@@ -175,11 +206,34 @@ class EpochStream
          * the logging platform embedded.
          */
         bool fromHeartbeats = false;
+        /**
+         * Optional coalescing policy (adaptive epoch sizing). When set,
+         * the marker-delimited source epochs are merged into coarser
+         * analyzed epochs group by group; numEpochs() then reports the
+         * realized (merged) count and realizedSpans() records the
+         * per-epoch merge widths so a bit-identical reference layout
+         * can be rebuilt with EpochLayout::coalescedFromHeartbeats.
+         * Null (the default) keeps the source slicing untouched.
+         */
+        ReslicePolicy reslice;
     };
 
     EpochStream(const Trace &trace, Config config);
 
     std::size_t numEpochs() const { return numEpochs_; }
+
+    /** Marker-delimited epoch count before any coalescing. */
+    std::size_t sourceEpochs() const { return sourceEpochs_; }
+
+    /**
+     * Per-analyzed-epoch source spans chosen by Config::reslice, in
+     * epoch order; sums to sourceEpochs(). Empty when no policy ran
+     * (the realized slicing is then the source slicing).
+     */
+    const std::vector<std::uint32_t> &realizedSpans() const
+    {
+        return spans_;
+    }
     std::size_t numThreads() const { return starts_.size(); }
     std::size_t windowEpochs() const { return cells_.size(); }
 
@@ -221,6 +275,8 @@ class EpochStream
 
     const Trace &trace_;
     std::size_t numEpochs_ = 0;
+    std::size_t sourceEpochs_ = 0;
+    std::vector<std::uint32_t> spans_;
     /** Same boundary table as EpochLayout::byGlobalSeq. */
     std::vector<std::vector<std::size_t>> starts_;
     std::vector<ThreadId> tids_;

@@ -15,6 +15,7 @@
 #include "src/fuzz/differential_runner.hpp"
 #include "src/fuzz/minimizer.hpp"
 #include "src/fuzz/trace_fuzzer.hpp"
+#include "src/service/analyzer.hpp"
 
 using namespace bfly;
 using namespace bfly::fuzz;
@@ -259,6 +260,27 @@ TEST(Corpus, SaveLoadRoundTripsThroughDisk)
     std::filesystem::remove(path);
 }
 
+TEST(CorpusReplay, ModeMatrixIncludesBatched)
+{
+    // The checked-in corpus is only a Batched regression gate if the
+    // runner's mode matrix actually executes Batched: a fault injected
+    // into Batched alone must surface as a mode-equivalence violation
+    // attributed to that mode.
+    RunnerConfig cfg;
+    cfg.fault.enabled = true;
+    cfg.fault.target = Lifeguard::AddrCheck;
+    cfg.fault.dropKind = ErrorKind::UnallocatedAccess;
+    cfg.fault.modeMask = 1u << static_cast<unsigned>(RunMode::Batched);
+    const DifferentialRunner runner(cfg);
+    const CaseOutcome outcome = runner.run(rogueCase(16));
+    ASSERT_FALSE(outcome.clean());
+    bool saw = false;
+    for (const Violation &v : outcome.violations)
+        saw = saw || (v.invariant == Invariant::ModeEquivalence &&
+                      v.mode == RunMode::Batched);
+    EXPECT_TRUE(saw) << outcome.violations.front().toString();
+}
+
 #ifdef BFLY_CORPUS_DIR
 TEST(CorpusReplay, CheckedInReprosStayClean)
 {
@@ -272,6 +294,40 @@ TEST(CorpusReplay, CheckedInReprosStayClean)
         EXPECT_TRUE(outcome.clean())
             << path << ": " << outcome.violations.front().toString();
         EXPECT_GT(outcome.events, 0u) << path;
+    }
+}
+
+TEST(CorpusReplay, BatchedKernelsMatchScalarOnEveryRepro)
+{
+    // Second Batched gate, independent of the runner's internals: every
+    // checked-in repro, run through the service's reference analyzer,
+    // must produce a bit-identical report with the columnar (batch)
+    // pass-1 kernels and the scalar ones, for all six lifeguards. This
+    // is the exact agreement MuxConfig::batchMode relies on.
+    const std::vector<std::string> files = listCorpus(BFLY_CORPUS_DIR);
+    ASSERT_FALSE(files.empty());
+    for (const std::string &path : files) {
+        const FuzzCase c = loadRepro(path);
+        const Trace trace = c.materialize();
+        const EpochLayout layout =
+            EpochLayout::byGlobalSeq(trace, c.globalH);
+        for (int lg = 0; lg < 6; ++lg) {
+            service::SessionSpec spec;
+            spec.lifeguard = static_cast<std::uint8_t>(lg);
+            spec.memModel = c.model == MemModel::TSO ? 1 : 0;
+            spec.numThreads =
+                static_cast<std::uint32_t>(trace.numThreads());
+            spec.granularity = lg == 1 || lg == 5 ? 4 : 8;
+            spec.heapBase = c.heapBase;
+            spec.heapLimit = c.heapLimit;
+            const service::RemoteReport scalar =
+                service::analyzeReference(spec, trace, layout, false);
+            const service::RemoteReport batched =
+                service::analyzeReference(spec, trace, layout, true);
+            EXPECT_TRUE(batched.identical(scalar))
+                << path << " lifeguard " << lg
+                << ": columnar kernels diverged from scalar";
+        }
     }
 }
 #endif

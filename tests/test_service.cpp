@@ -6,7 +6,10 @@
  * remote reports against in-process reference runs (all six
  * lifeguards), the pinned per-event byte charge, crash-restart replay
  * of the .bfz spool, back-pressure end-to-end, per-session telemetry
- * isolation, and the slow-client partial-report path.
+ * isolation, the slow-client partial-report path, and the adaptive
+ * admission ladder: EpochHint codec hostility, forced h-change
+ * conformance over the wire, and Overload shedding with tick-driven
+ * recovery.
  */
 
 #include <gtest/gtest.h>
@@ -985,6 +988,226 @@ TEST(MonitorService, SlowClientGetsTruncatedReportWithPartialStatus)
         << "the fingerprint still witnesses the full report";
     server.stop();
     EXPECT_EQ(server.partialReports(), 1u);
+}
+
+// ---------------------------------------------------------------- adaptive
+
+TEST(Wire, EpochHintRoundTripChainsAcrossFrames)
+{
+    EpochHintInfo first;
+    first.effectiveH = 8;
+    first.spans = {1, 2, 4, 8, 1};
+    EpochHintInfo out;
+    ASSERT_EQ(decodeEpochHint(encodeEpochHint(first), out),
+              DecodeStatus::Ok);
+    EXPECT_EQ(out.effectiveH, 8u);
+    EXPECT_EQ(out.spans, first.spans);
+
+    // A session's spans may be split over several frames; the decoder
+    // appends, so chaining is just calling it again with the same out.
+    EpochHintInfo second;
+    second.effectiveH = 8;
+    second.spans = {2, 2};
+    ASSERT_EQ(decodeEpochHint(encodeEpochHint(second), out),
+              DecodeStatus::Ok);
+    const std::vector<std::uint32_t> chained = {1, 2, 4, 8, 1, 2, 2};
+    EXPECT_EQ(out.spans, chained);
+}
+
+TEST(Wire, EpochHintRejectsHostileSpans)
+{
+    EpochHintInfo out;
+
+    // A span of zero source epochs is meaningless (spans partition the
+    // marker epochs): hand-rolled varints {effectiveH=1, count=1, k=0}.
+    const std::uint8_t zero_span[] = {0x01, 0x01, 0x00};
+    EXPECT_EQ(decodeEpochHint(zero_span, out), DecodeStatus::Corrupt);
+
+    // A single span claiming an absurd merge width.
+    EpochHintInfo absurd;
+    absurd.spans = {(1u << 20) + 1};
+    EXPECT_EQ(decodeEpochHint(encodeEpochHint(absurd), out),
+              DecodeStatus::Corrupt);
+
+    // A count beyond the per-frame bound, before any spans follow.
+    const std::uint8_t huge_count[] = {0x01, 0x81, 0x80, 0x04};
+    EXPECT_EQ(decodeEpochHint(huge_count, out), DecodeStatus::Corrupt);
+
+    // Truncation anywhere must not decode cleanly.
+    EpochHintInfo valid;
+    valid.effectiveH = 4;
+    valid.spans = {1, 4, 2};
+    const auto payload = encodeEpochHint(valid);
+    for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+        EpochHintInfo partial;
+        EXPECT_NE(decodeEpochHint({payload.data(), cut}, partial),
+                  DecodeStatus::Ok)
+            << "truncated at " << cut;
+    }
+
+    // Overload joined the reject codes with the graduated ladder.
+    RejectInfo overload{RejectCode::Overload, "shard shedding load"};
+    RejectInfo overload2;
+    ASSERT_EQ(decodeReject(encodeReject(overload), overload2),
+              DecodeStatus::Ok);
+    EXPECT_EQ(overload2.code, RejectCode::Overload);
+    EXPECT_EQ(overload2.message, overload.message);
+}
+
+TEST(SessionMuxTest, AdaptiveLadderShedsNewSessionsAndRecovers)
+{
+    WorkerPool pool(2);
+    MuxConfig config;
+    config.adaptive = true;
+    config.sessionQueueBytes = 256;
+    config.debugPumpDelayMs = 200; // park queued bytes: samples stay hot
+    config.busyRetryMs = 0;
+    config.controller.upThreshold = 0.5;
+    config.controller.downThreshold = 0.4;
+    config.controller.escalateAfter = 1; // every hot sample climbs
+    config.controller.recoverAfter = 1;  // every cool sample descends
+    SessionMux mux(pool, config, [] {});
+
+    SessionSpec spec;
+    spec.lifeguard = static_cast<std::uint8_t>(Lifeguard::AddrCheck);
+    spec.numThreads = 1;
+    const std::uint64_t id = mux.open(spec);
+    EXPECT_FALSE(mux.shedNewSessions());
+
+    // Each in-sequence submission is one ladder sample; with the queue
+    // parked over the hot threshold the shard climbs one rung per
+    // attempt (Busy verdicts resubmit the same seq, as go-back-N does).
+    const std::vector<std::uint8_t> chunk(200, 0x00); // Nop opcodes
+    BusyInfo busy;
+    RejectInfo reject;
+    std::uint64_t seq = 0;
+    for (int i = 0; i < 32 && !mux.shedNewSessions(); ++i) {
+        const Admission verdict =
+            mux.submitChunk(id, {seq, 0}, chunk, busy, reject);
+        ASSERT_NE(verdict, Admission::Rejected) << reject.message;
+        if (verdict == Admission::Accepted)
+            ++seq;
+    }
+    EXPECT_TRUE(mux.shedNewSessions());
+    EXPECT_EQ(mux.shardLevel(), DegradeLevel::Shed);
+
+    // The abusive tenant goes away and its bytes are reclaimed. No
+    // admission samples can arrive anymore — without the reactor tick
+    // the shard would refuse sessions forever.
+    mux.abort(id);
+    const auto deadline = std::chrono::steady_clock::now() + 20s;
+    while (mux.globalBytes() > 0 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(1ms);
+    ASSERT_EQ(mux.globalBytes(), 0u);
+
+    while ((mux.shedNewSessions() ||
+            mux.shardLevel() != DegradeLevel::Normal) &&
+           std::chrono::steady_clock::now() < deadline) {
+        mux.tickShardController(); // rate-limited to one sample / 100ms
+        std::this_thread::sleep_for(5ms);
+    }
+    EXPECT_FALSE(mux.shedNewSessions());
+    EXPECT_EQ(mux.shardLevel(), DegradeLevel::Normal)
+        << "idle ticks never walked the ladder back down";
+}
+
+TEST(MonitorService, AdaptiveServerConformsAcrossForcedHChanges)
+{
+    // Tentpole conformance, loopback edition: a force-cycled adaptive
+    // server changes the realized epoch width several times per session
+    // and advertises the slicing in EpochHint frames; rebuilding that
+    // layout locally must reproduce the report bit for bit.
+    ServerConfig scfg;
+    scfg.unixPath = tempSocketPath("adaptive");
+    scfg.workers = 4;
+    scfg.mux.adaptive = true;
+    scfg.mux.adaptiveForceCycle = true; // widths 1→2→4→8 per group
+    MonitorServer server(scfg);
+    ASSERT_TRUE(server.start());
+
+    const Addr heap = 0x500000;
+    const Trace marked = makeMarkedTrace(2, 24, 20, heap);
+    const SessionSpec spec = addrcheckSpec(marked, heap);
+    const std::size_t source_epochs =
+        EpochLayout::fromHeartbeats(marked).numEpochs();
+
+    for (int i = 0; i < 6; ++i) {
+        MonitorClient client;
+        ASSERT_TRUE(client.connectUnix(scfg.unixPath));
+        const RunResult remote = client.run(spec, marked);
+        ASSERT_TRUE(remote.ok) << remote.error;
+
+        ASSERT_FALSE(remote.epochSpans.empty())
+            << "adaptive server sent no EpochHint";
+        std::size_t covered = 0;
+        for (const std::uint32_t k : remote.epochSpans)
+            covered += k;
+        ASSERT_EQ(covered, source_epochs)
+            << "advertised spans do not partition the marker epochs";
+        EXPECT_GE(remote.hChanges(), 3u);
+        EXPECT_EQ(remote.effectiveH, 8u);
+        EXPECT_EQ(remote.report.epochs, remote.epochSpans.size());
+
+        const RemoteReport reference = analyzeReference(
+            spec, marked,
+            EpochLayout::coalescedFromHeartbeats(marked,
+                                                 remote.epochSpans));
+        EXPECT_TRUE(remote.report.identical(reference))
+            << "session " << i << " diverged across h-changes";
+    }
+    server.stop();
+    EXPECT_EQ(server.sessionsFailed(), 0u);
+    EXPECT_EQ(server.sessionsCompleted(), 6u);
+    EXPECT_GE(server.hintEchoes(), 1u)
+        << "no client echo ever reached the server";
+}
+
+TEST(MonitorService, SaturatedAdaptiveShardTurnsAwayNewSessions)
+{
+    ServerConfig scfg;
+    scfg.unixPath = tempSocketPath("shed");
+    scfg.workers = 2;
+    scfg.mux.adaptive = true;
+    scfg.mux.sessionQueueBytes = 256;
+    scfg.mux.debugPumpDelayMs = 100;
+    scfg.mux.busyRetryMs = 1;
+    scfg.mux.controller.upThreshold = 0.5;
+    scfg.mux.controller.escalateAfter = 1;
+    scfg.mux.controller.recoverAfter = 1 << 20; // pin Shed for the test
+    MonitorServer server(scfg);
+    ASSERT_TRUE(server.start());
+
+    // Sacrificial tenant: a small queue plus a slow pump makes every
+    // go-back-N retry a hot ladder sample, so the shard escalates to
+    // Shed while the client burns its (tiny) Busy retry allowance.
+    const Addr heap = 0x600000;
+    const Trace big = makeMarkedTrace(2, 8, 60, heap);
+    ClientConfig ccfg;
+    ccfg.chunkBytes = 200;
+    ccfg.maxBusyRetries = 40;
+    {
+        MonitorClient hog(ccfg);
+        ASSERT_TRUE(hog.connectUnix(scfg.unixPath));
+        const RunResult res = hog.run(addrcheckSpec(big, heap), big);
+        EXPECT_FALSE(res.ok) << "hog was supposed to give up on Busy";
+    }
+
+    // A fresh tenant is refused at the door with Overload, and the
+    // client surfaces retry-later semantics, not a protocol failure.
+    const Trace small = makeMarkedTrace(1, 2, 10, heap);
+    MonitorClient late;
+    ASSERT_TRUE(late.connectUnix(scfg.unixPath));
+    const RunResult refused = late.run(addrcheckSpec(small, heap), small);
+    EXPECT_FALSE(refused.ok);
+    EXPECT_TRUE(refused.overloaded) << refused.error;
+
+    const std::vector<ShardStats> stats = server.shardStats();
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].degradeLevel, DegradeLevel::Shed);
+    server.stop();
+    EXPECT_GE(server.sessionsShed(), 1u);
+    EXPECT_GE(server.busySent(), 1u);
 }
 
 TEST(MonitorService, GarbageBytesAreRejectedWithProtocolError)
