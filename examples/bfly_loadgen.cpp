@@ -105,6 +105,8 @@ struct Tally
     std::atomic<std::uint64_t> events{0};
     std::atomic<std::uint64_t> records{0};
     std::atomic<std::uint64_t> partials{0};
+    /** Encoded log bytes shipped across all conformance sessions. */
+    std::atomic<std::uint64_t> logBytes{0};
     // adaptive: epoch-width changes observed across all EpochHint spans
     std::atomic<std::uint64_t> hChanges{0};
     // chaos-only counters
@@ -263,6 +265,7 @@ runConformanceCase(const Options &opt, fuzz::TraceFuzzer &fuzzer,
     tally.traces.fetch_add(1);
     tally.busyRetries.fetch_add(remote.busyRetries);
     tally.events.fetch_add(trace.instructionCount());
+    tally.logBytes.fetch_add(remote.logBytesSent);
     tally.noteServerShards(remote.serverShards);
 
     if (!remote.ok) {
@@ -823,6 +826,11 @@ main(int argc, char **argv)
          << ", \"busy_retries\": " << tally.busyRetries.load()
          << ", \"events\": " << tally.events.load()
          << ", \"records\": " << tally.records.load()
+         << ", \"log_bytes\": " << tally.logBytes.load()
+         << ", \"log_bytes_per_session\": "
+         << (tally.traces.load() > 0
+                 ? tally.logBytes.load() / tally.traces.load()
+                 : 0)
          << ", \"chaos\": " << (opt.chaos ? "true" : "false")
          << ", \"adaptive\": " << (opt.adaptive ? "true" : "false")
          << ", \"hchanges\": " << tally.hChanges.load()

@@ -155,7 +155,10 @@ main(int argc, char **argv)
               << " busy_sent=" << server.busySent()
               << " partial=" << server.partialReports()
               << " shed=" << server.sessionsShed()
-              << " hint_echoes=" << server.hintEchoes() << std::endl;
+              << " hint_echoes=" << server.hintEchoes()
+              << " elision_sessions=" << server.elisionSessions()
+              << " summary_events=" << server.summaryEventsSeen()
+              << std::endl;
     for (const ShardStats &s : server.shardStats())
         std::cout << "bfly_serve: shard=" << s.shard
                   << " assigned=" << s.sessionsAssigned

@@ -8,6 +8,13 @@
  *   fuzz_cli [--seed S|from-run-id] [--traces N] [--budget-sec T]
  *            [--threads K] [--no-tso] [--corpus DIR] [--json FILE]
  *            [--telemetry FILE] [--replay DIR] [--export-cases N]
+ *            [--elision]
+ *
+ * --elision enables the elision-soundness axis: every case (generated
+ * or replayed from the .bfz corpus) is additionally run with a static
+ * ElisionPlan applied, and the elided run must still subsume the
+ * sequential oracles computed on the full trace. Failures are
+ * minimized and promoted into the corpus like any other violation.
  *
  * Exit status: 0 if every case satisfied every invariant, 1 on the
  * first violation (after the minimized repro has been written and its
@@ -47,6 +54,7 @@ struct Options
     std::string replayDir;        ///< replay mode instead of fuzzing
     std::size_t exportCases = 0;  ///< export first N cases, no checking
     bool injectFault = false;     ///< self-test: simulate a lifeguard bug
+    bool elision = false;         ///< also check elision soundness
 };
 
 void
@@ -68,7 +76,10 @@ usage()
         << "                        cases into --corpus and exit\n"
         << "  --inject-fault        self-test: corrupt ADDRCHECK's\n"
         << "                        report so the violation, minimizer\n"
-        << "                        and repro paths demonstrably fire\n";
+        << "                        and repro paths demonstrably fire\n"
+        << "  --elision             also apply a static ElisionPlan per\n"
+        << "                        case and require the elided run to\n"
+        << "                        subsume the full-trace oracles\n";
 }
 
 bool
@@ -142,6 +153,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.exportCases = std::strtoull(v, nullptr, 10);
         } else if (a == "--inject-fault") {
             opt.injectFault = true;
+        } else if (a == "--elision") {
+            opt.elision = true;
         } else {
             std::cerr << "fuzz_cli: unknown option " << a << "\n";
             return false;
@@ -159,6 +172,8 @@ struct Summary
     std::size_t oracleErrors = 0;
     std::size_t falsePositives = 0;
     std::size_t violations = 0;
+    std::size_t elidedEvents = 0;  ///< --elision: events elided
+    std::size_t summaryEvents = 0; ///< --elision: summaries emitted
     double elapsedSec = 0;
     std::string failingRepro; ///< path of the minimized repro, if any
     std::string firstViolation;
@@ -173,6 +188,8 @@ struct Summary
            << "  \"oracle_errors\": " << oracleErrors << ",\n"
            << "  \"false_positives\": " << falsePositives << ",\n"
            << "  \"violations\": " << violations << ",\n"
+           << "  \"elided_events\": " << elidedEvents << ",\n"
+           << "  \"summary_events\": " << summaryEvents << ",\n"
            << "  \"elapsed_sec\": " << elapsedSec << ",\n"
            << "  \"failing_repro\": \"" << failingRepro << "\",\n"
            << "  \"first_violation\": \"" << firstViolation << "\"\n"
@@ -223,7 +240,9 @@ persistFailure(const FuzzCase &failing, const DifferentialRunner &runner,
 int
 replayCorpus(const Options &opt)
 {
-    const DifferentialRunner runner;
+    RunnerConfig rcfg;
+    rcfg.checkElision = opt.elision;
+    const DifferentialRunner runner(rcfg);
     Summary summary;
     summary.seed = opt.seed;
     const auto t0 = std::chrono::steady_clock::now();
@@ -251,17 +270,27 @@ replayCorpus(const Options &opt)
         summary.oracleErrors += outcome.oracleErrors;
         summary.falsePositives += outcome.falsePositives;
         summary.violations += outcome.violations.size();
+        summary.elidedEvents += outcome.elidedEvents;
+        summary.summaryEvents += outcome.summaryEvents;
         if (!outcome.clean()) {
             std::cerr << "fuzz_cli: REPLAY FAILURE " << path << ": "
                       << outcome.violations.front().toString() << "\n";
             if (summary.firstViolation.empty())
                 summary.firstViolation =
                     outcome.violations.front().toString();
-            summary.failingRepro = path;
+            // Promote the (re-)minimized failure into the corpus so the
+            // repro reflects the axis that actually fired.
+            summary.failingRepro =
+                persistFailure(c, runner, opt.corpusDir);
+            if (summary.failingRepro.empty())
+                summary.failingRepro = path;
             status = 1;
         } else {
             std::cout << "fuzz_cli: replay ok " << path << " ("
-                      << outcome.events << " events)\n";
+                      << outcome.events << " events";
+            if (opt.elision)
+                std::cout << ", " << outcome.elidedEvents << " elided";
+            std::cout << ")\n";
         }
     }
     summary.elapsedSec =
@@ -320,6 +349,7 @@ main(int argc, char **argv)
     fcfg.allowTso = opt.allowTso;
     TraceFuzzer fuzzer(fcfg);
     RunnerConfig rcfg;
+    rcfg.checkElision = opt.elision;
     if (opt.injectFault) {
         rcfg.fault.enabled = true;
         rcfg.fault.target = Lifeguard::AddrCheck;
@@ -351,6 +381,8 @@ main(int argc, char **argv)
         summary.oracleErrors += outcome.oracleErrors;
         summary.falsePositives += outcome.falsePositives;
         summary.violations += outcome.violations.size();
+        summary.elidedEvents += outcome.elidedEvents;
+        summary.summaryEvents += outcome.summaryEvents;
 
         if (!outcome.clean()) {
             summary.firstViolation =
@@ -376,6 +408,13 @@ main(int argc, char **argv)
     std::cout << "fuzz_cli: done: " << summary.cases << " cases, "
               << summary.events << " events in " << summary.elapsedSec
               << "s; " << summary.violations << " violations\n";
+    if (opt.elision)
+        std::cout << "fuzz_cli: elision: " << summary.elidedEvents
+                  << " events elided into " << summary.summaryEvents
+                  << " summaries"
+                  << (status == 0 ? ", oracle subsumption held on every case"
+                                  : "")
+                  << "\n";
     if (status != 0 && !summary.failingRepro.empty())
         std::cout << "fuzz_cli: repro: " << summary.failingRepro << "\n";
     return status;

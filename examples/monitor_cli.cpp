@@ -22,6 +22,13 @@
  * kernels. Reports are bit-identical to the default scalar kernels;
  * only the per-block execution strategy changes.
  *
+ * `--elide` runs the static elision pre-pass (src/staticpass/) first:
+ * sites proven AlwaysPrivate log SiteSummary counts instead of their
+ * Read/Write events. The oracle still replays the full trace, so the
+ * printed accuracy section doubles as the zero-false-negative check,
+ * and the elision section reports the plan fingerprint, site classes,
+ * events elided and log bytes saved.
+ *
  * `--telemetry` writes the metrics-registry snapshot as nested JSON;
  * `--trace` writes a Chrome trace-event file of the session (load it in
  * chrome://tracing or https://ui.perfetto.dev — pid 0 is wall-clock,
@@ -56,7 +63,7 @@ usage(const char *argv0)
         "usage: %s [--workload NAME] [--threads N] [--epoch H]\n"
         "          [--instr N] [--model sc|tso] [--seed S] [--verbose]\n"
         "          [--lifeguard addrcheck|lockset|addrleak] [--batch]\n"
-        "          [--telemetry OUT.json] [--trace OUT.trace.json]\n"
+        "          [--elide] [--telemetry OUT.json] [--trace OUT.trace.json]\n"
         "       %s --workload list\n",
         argv0, argv0);
     std::exit(2);
@@ -150,6 +157,7 @@ main(int argc, char **argv)
     std::uint64_t seed = 42;
     bool verbose = false;
     bool batch = false;
+    bool elide = false;
     std::string lifeguard = "addrcheck";
     std::string telemetry_out;
     std::string trace_out;
@@ -190,6 +198,8 @@ main(int argc, char **argv)
             trace_out = next();
         } else if (arg == "--batch") {
             batch = true;
+        } else if (arg == "--elide") {
+            elide = true;
         } else if (arg == "--verbose") {
             verbose = true;
         } else {
@@ -239,6 +249,7 @@ main(int argc, char **argv)
     cfg.model = model;
     cfg.interleaveSeed = seed * 7919 + 1;
     cfg.batchMode = batch;
+    cfg.elide = elide;
 
     std::printf("monitoring %s: %u threads, h=%zu, %s, ~%zu "
                 "events/thread\n",
@@ -273,6 +284,33 @@ main(int argc, char **argv)
     std::printf("instructions      %zu\n", r.instructions);
     std::printf("memory accesses   %zu\n", r.memoryAccesses);
     std::printf("epochs            %zu\n", r.epochs);
+
+    if (elide) {
+        std::printf("\n-- static elision --------------------------------\n");
+        std::printf("plan fingerprint  %016llx\n",
+                    static_cast<unsigned long long>(r.planFingerprint));
+        std::printf("sites             %zu (%zu always-private, %zu "
+                    "provably-untainted, %zu never-freed, %zu "
+                    "must-monitor)\n",
+                    r.siteClasses.sites, r.siteClasses.byClass[3],
+                    r.siteClasses.byClass[2], r.siteClasses.byClass[1],
+                    r.siteClasses.byClass[0]);
+        std::printf("events elided     %llu of %llu (%.1f%%), %llu "
+                    "summaries\n",
+                    static_cast<unsigned long long>(r.elision.elidedEvents),
+                    static_cast<unsigned long long>(r.elision.inputEvents),
+                    100.0 * r.elision.elidedFraction(),
+                    static_cast<unsigned long long>(
+                        r.elision.summaryEvents));
+        std::printf("log bytes         %zu -> %zu (%.1f%% saved)\n",
+                    r.encodedBytesFull, r.encodedBytesMonitored,
+                    r.encodedBytesFull
+                        ? 100.0 *
+                              (1.0 - static_cast<double>(
+                                         r.encodedBytesMonitored) /
+                                         r.encodedBytesFull)
+                        : 0.0);
+    }
 
     std::printf("\n-- accuracy (butterfly ADDRCHECK vs oracle) ------\n");
     std::printf("oracle errors     %zu\n", r.oracleErrorCount);

@@ -14,6 +14,7 @@
 #include "lifeguards/defcheck.hpp"
 #include "lifeguards/lockset.hpp"
 #include "lifeguards/taintcheck.hpp"
+#include "staticpass/classify.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace_span.hpp"
 #include "trace/epoch_slicer.hpp"
@@ -30,7 +31,8 @@ const char *const kModeNames[] = {"sequential", "parallel",
                                   "batched"};
 const char *const kInvariantNames[] = {"mode-equivalence",
                                        "oracle-subsumption",
-                                       "fp-monotonicity"};
+                                       "fp-monotonicity",
+                                       "elision-soundness"};
 
 /** Pre-interned fuzz metric ids. */
 struct FuzzMetrics
@@ -424,7 +426,8 @@ DifferentialRunner::run(const FuzzCase &c) const
     ErrorLog addrOracleLog;
     ErrorLog lockOracleLog;
     ErrorLog leakOracleLog;
-    if (config_.checkOracleSubsumption || config_.checkFpMonotonicity) {
+    if (config_.checkOracleSubsumption || config_.checkFpMonotonicity ||
+        config_.checkElision) {
         telemetry::TraceSpan s("fuzz.oracles");
         AddrCheckOracle addrOracle(ctx.addrCfg);
         addrOracle.runOnTrace(trace);
@@ -477,6 +480,46 @@ DifferentialRunner::run(const FuzzCase &c) const
                 outcome.violations.push_back({Invariant::OracleSubsumption,
                                               p.lg, RunMode::Sequential,
                                               os.str()});
+            }
+        }
+
+        // Elision axis: classify deterministic pseudo-sites, elide, and
+        // prove the elided run still misses nothing the full-trace
+        // oracle flags. The oracle always replays the *unelided* trace,
+        // so every clean case is a per-case zero-FN certificate.
+        if (config_.checkElision) {
+            telemetry::TraceSpan es("fuzz.elision");
+            Trace stamped = trace;
+            staticpass::SiteTable sites;
+            const staticpass::ElisionPlan plan =
+                staticpass::buildElisionPlan(stamped, sites);
+            staticpass::ElisionStats estats;
+            const Trace elided =
+                staticpass::applyElisionPlan(stamped, plan, &estats);
+            outcome.elidedEvents = estats.elidedEvents;
+            outcome.summaryEvents = estats.summaryEvents;
+
+            const EpochLayout elayout =
+                EpochLayout::byGlobalSeq(elided, c.globalH);
+            CaseContext ectx{c,           elided,      elayout,
+                             ctx.addrCfg, ctx.taintCfg, ctx.defCfg,
+                             ctx.lockCfg, ctx.leakCfg,  ctx.termination};
+            for (const auto &p : pairs) {
+                Report r =
+                    runLifeguard(ectx, p.lg, RunMode::Sequential);
+                if (config_.fault.corrupts(p.lg, RunMode::Sequential))
+                    dropKind(r, config_.fault.dropKind);
+                const AccuracyReport acc = compareToOracle(
+                    logOf(r.records), p.oracle, p.granularity);
+                if (acc.falseNegatives != 0) {
+                    std::ostringstream os;
+                    os << acc.falseNegatives << " of " << p.oracle.size()
+                       << " oracle errors missed after eliding "
+                       << estats.elidedEvents << " events";
+                    outcome.violations.push_back(
+                        {Invariant::ElisionSoundness, p.lg,
+                         RunMode::Sequential, os.str()});
+                }
             }
         }
     }

@@ -26,6 +26,14 @@
  *    flagged variable (attribution may legitimately move between epoch
  *    sizes, the set of racy variables may only shrink).
  *
+ *  - elision soundness (opt-in, --elision): stamping deterministic
+ *    pseudo-sites on the materialized trace, building an ElisionPlan
+ *    with the static classifier, applying it, and re-running every
+ *    error-reporting lifeguard on the elided trace must still subsume
+ *    the sequential oracle run on the *full* trace — static elision may
+ *    never introduce a false negative, for any lifeguard, on any
+ *    scenario family the fuzzer generates.
+ *
  * Mutation testing: a FaultPlan deliberately corrupts one lifeguard's
  * report (dropping records of one kind in a subset of modes) before the
  * invariants are evaluated. A fault in some modes must surface as a
@@ -87,6 +95,7 @@ enum class Invariant : std::uint8_t {
     ModeEquivalence,
     OracleSubsumption,
     FpMonotonicity,
+    ElisionSoundness, ///< elided trace still subsumes the full oracle
 };
 const char *invariantName(Invariant inv);
 
@@ -130,6 +139,8 @@ struct CaseOutcome
     std::size_t oracleErrors = 0;
     std::size_t butterflyErrors = 0; ///< ADDRCHECK sequential-mode flags
     std::size_t falsePositives = 0;  ///< ADDRCHECK at the case's H
+    std::size_t elidedEvents = 0;    ///< events dropped by the plan
+    std::size_t summaryEvents = 0;   ///< SiteSummary events emitted
 
     bool clean() const { return violations.empty(); }
 };
@@ -143,6 +154,9 @@ struct RunnerConfig
     /** Compare FP(H) against FP(factor*H); factor keeps epoch boundaries
      *  nested so uncertainty shrinks pointwise. */
     std::size_t monotonicityFactor = 4;
+    /** Build + apply an ElisionPlan (deterministic pseudo-sites) and
+     *  require the elided run to still subsume the full-trace oracle. */
+    bool checkElision = false;
     FaultPlan fault;
 };
 

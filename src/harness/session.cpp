@@ -5,6 +5,7 @@
 #include "lifeguards/addrcheck_oracle.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace_span.hpp"
+#include "trace/log_codec.hpp"
 
 namespace bfly {
 
@@ -57,8 +58,25 @@ runSession(const SessionConfig &config)
     // Root telemetry scope: everything below nests inside this span.
     telemetry::TraceSpan root("session");
 
+    SessionResult result;
+
     // 1. Generate the workload and execute it under the memory model.
     Workload workload = config.factory(config.workload);
+
+    // 1b. Static elision pre-pass: classify the kernels' emitting sites
+    // (pseudo-sites fill in for anything the generator left unstamped)
+    // and build the plan the log-generation step will consult.
+    staticpass::ElisionPlan plan;
+    if (config.elide) {
+        telemetry::TraceSpan span("session.staticpass");
+        staticpass::assignPseudoSites(workload.programs, workload.sites);
+        staticpass::ClassifyOptions copt;
+        copt.granularity = config.granularity;
+        plan = staticpass::classifySites(workload.programs, workload.sites,
+                                         copt, &result.siteClasses);
+        result.planFingerprint = plan.fingerprint();
+    }
+
     Rng rng(config.interleaveSeed);
     InterleaveConfig icfg;
     icfg.model = config.model;
@@ -67,6 +85,17 @@ runSession(const SessionConfig &config)
         return interleave(workload.programs, icfg, rng);
     }();
 
+    // The monitored stream: what the application actually logs. With
+    // elision on, AlwaysPrivate Read/Write events never reach the log —
+    // only their SiteSummary stand-ins do. The oracle below still
+    // replays the full trace.
+    Trace elided;
+    if (config.elide) {
+        telemetry::TraceSpan span("session.elide");
+        elided = staticpass::applyElisionPlan(trace, plan, &result.elision);
+    }
+    const Trace &monitored = config.elide ? elided : trace;
+
     // 2. Slice into heartbeat epochs.
     // Heartbeats fire after h*n instructions of global progress (the
     // prototype's mechanism, Section 7.1), so the epoch structure is
@@ -74,7 +103,7 @@ runSession(const SessionConfig &config)
     EpochLayout layout = [&] {
         telemetry::TraceSpan span("session.epoch_slice");
         return EpochLayout::byGlobalSeq(
-            trace, config.epochSize * trace.numThreads());
+            monitored, config.epochSize * monitored.numThreads());
     }();
 
     // 3. Functional butterfly ADDRCHECK run.
@@ -89,8 +118,8 @@ runSession(const SessionConfig &config)
     // schedule instead of being spawned and joined twice per epoch.
     std::unique_ptr<WorkerPool> pool;
     if ((config.parallelPasses || config.pipelineMode) &&
-        trace.numThreads() > 1)
-        pool = std::make_unique<WorkerPool>(trace.numThreads());
+        monitored.numThreads() > 1)
+        pool = std::make_unique<WorkerPool>(monitored.numThreads());
     WindowSchedule schedule(config.parallelPasses, pool.get());
     std::size_t peak_resident = 0;
     {
@@ -100,8 +129,8 @@ runSession(const SessionConfig &config)
             // materialized layout, but only O(window) epochs of events
             // resident while the task graph runs.
             EpochStream::Config scfg;
-            scfg.globalH = config.epochSize * trace.numThreads();
-            EpochStream stream(trace, scfg);
+            scfg.globalH = config.epochSize * monitored.numThreads();
+            EpochStream stream(monitored, scfg);
             const PipelineStats stats =
                 schedule.runPipelined(stream, butterfly);
             peak_resident = stats.peakResidentEpochs;
@@ -117,7 +146,17 @@ runSession(const SessionConfig &config)
         oracle.runOnTrace(trace);
     }
 
-    SessionResult result;
+    if (config.elide) {
+        const auto encodedBytes = [](const Trace &t) {
+            std::size_t n = 0;
+            for (const ThreadTrace &tt : t.threads)
+                n += encodeEvents(tt.events).size();
+            return n;
+        };
+        result.encodedBytesFull = encodedBytes(trace);
+        result.encodedBytesMonitored = encodedBytes(monitored);
+    }
+
     result.workloadName = workload.name;
     result.threads = trace.numThreads();
     result.instructions = trace.instructionCount();
@@ -133,7 +172,7 @@ runSession(const SessionConfig &config)
 
     // 5. Timing for every monitoring mode.
     PerfInputs pin;
-    pin.trace = &trace;
+    pin.trace = &monitored; // priced on what the log actually carries
     pin.layout = &layout;
     pin.butterfly = &butterfly;
     pin.addrcheck = acfg;

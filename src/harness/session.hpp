@@ -15,6 +15,7 @@
 
 #include "harness/perf_model.hpp"
 #include "memmodel/interleaver.hpp"
+#include "staticpass/classify.hpp"
 #include "workloads/workload.hpp"
 
 namespace bfly {
@@ -50,6 +51,15 @@ struct SessionConfig
      * changes. Composes freely with parallelPasses/pipelineMode.
      */
     bool batchMode = false;
+    /**
+     * Opt-in: run the static elision pre-pass (src/staticpass/) before
+     * monitoring. Events from sites the classifier proves AlwaysPrivate
+     * are dropped from the monitored stream and replaced by SiteSummary
+     * events carrying exact per-site counts. The oracle still replays
+     * the full trace, so the accuracy comparison of every elided run is
+     * itself a zero-false-negative proof. Default off.
+     */
+    bool elide = false;
 };
 
 /** Everything measured in one run. */
@@ -63,6 +73,15 @@ struct SessionResult
     /** Pipeline mode only: most epochs simultaneously resident in the
      *  streaming slicer's ring (bounded by its window; 0 otherwise). */
     std::size_t peakResidentEpochs = 0;
+
+    // Static elision (elide mode only; zero/default otherwise).
+    staticpass::ClassifyStats siteClasses;
+    staticpass::ElisionStats elision;
+    std::uint64_t planFingerprint = 0;
+    /** Log-codec bytes for the full vs. the monitored (elided) trace —
+     *  the bytes-on-the-wire saving the summaries buy. */
+    std::size_t encodedBytesFull = 0;
+    std::size_t encodedBytesMonitored = 0;
 
     std::size_t butterflyErrorCount = 0;
     std::size_t oracleErrorCount = 0;

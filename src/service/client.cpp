@@ -172,8 +172,10 @@ MonitorClient::run(const SessionSpec &spec, const Trace &marked_trace)
     // spans view the encoded vectors, which must outlive the send loop.
     std::vector<std::vector<std::uint8_t>> encoded;
     encoded.reserve(marked_trace.numThreads());
-    for (const ThreadTrace &thread : marked_trace.threads)
+    for (const ThreadTrace &thread : marked_trace.threads) {
         encoded.push_back(encodeEvents(thread.events));
+        result.logBytesSent += encoded.back().size();
+    }
 
     std::vector<ChunkItem> items;
     const std::size_t chunk =

@@ -54,6 +54,9 @@ struct RunResult
      *  the server analyzed. */
     std::vector<std::uint32_t> epochSpans;
     std::uint64_t effectiveH = 1;  ///< headline width from EpochHint
+    /** Encoded log bytes streamed for this session (before go-back-N
+     *  resends) — the bytes-on-the-wire a static ElisionPlan saves. */
+    std::uint64_t logBytesSent = 0;
 
     /** How often the realized epoch width changed mid-stream. */
     std::uint64_t

@@ -568,6 +568,10 @@ MonitorServer::drainCompletions(Reactor &r)
             conn.wantClose = true;
         } else {
             r.completed.fetch_add(1, std::memory_order_relaxed);
+            if (result.planFingerprint != 0)
+                r.elisionSessions.fetch_add(1, std::memory_order_relaxed);
+            r.summaryEvents.fetch_add(result.summaryEvents,
+                                      std::memory_order_relaxed);
             sendReport(r, conn, result);
             if (result.realizedSpans.empty())
                 conn.wantClose = true;
@@ -660,6 +664,8 @@ MonitorServer::sendReport(Reactor &r, Connection &conn,
     summary.busyCount = conn.busyCount;
     summary.peakResidentEpochs = report.peakResidentEpochs;
     summary.fingerprint = report.fingerprint;
+    summary.planFingerprint = result.planFingerprint;
+    summary.summaryEvents = result.summaryEvents;
     const auto payload = encodeSummary(summary);
     sendFrame(conn, FrameType::Summary, payload);
     if (truncated)
@@ -784,6 +790,24 @@ MonitorServer::hintEchoes() const
     std::uint64_t sum = 0;
     for (const auto &r : reactors_)
         sum += r->hintEchoes.load(std::memory_order_relaxed);
+    return sum;
+}
+
+std::uint64_t
+MonitorServer::elisionSessions() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &r : reactors_)
+        sum += r->elisionSessions.load(std::memory_order_relaxed);
+    return sum;
+}
+
+std::uint64_t
+MonitorServer::summaryEventsSeen() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &r : reactors_)
+        sum += r->summaryEvents.load(std::memory_order_relaxed);
     return sum;
 }
 

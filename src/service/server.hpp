@@ -135,6 +135,8 @@ class MonitorServer
     std::uint64_t partialReports() const;
     std::uint64_t sessionsShed() const;
     std::uint64_t hintEchoes() const;
+    std::uint64_t elisionSessions() const;
+    std::uint64_t summaryEventsSeen() const;
     std::size_t globalBytes() const;
     std::size_t activeSessions() const;
 
@@ -192,6 +194,10 @@ class MonitorServer
         std::atomic<std::uint64_t> partial{0};
         std::atomic<std::uint64_t> shed{0};
         std::atomic<std::uint64_t> hintEchoes{0};
+        /** v4: sessions that declared a nonzero plan fingerprint. */
+        std::atomic<std::uint64_t> elisionSessions{0};
+        /** v4: SiteSummary events decoded across completed sessions. */
+        std::atomic<std::uint64_t> summaryEvents{0};
     };
 
     void reactorLoop(Reactor &r);

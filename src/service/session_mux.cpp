@@ -78,6 +78,8 @@ struct SessionMux::Session
     std::vector<ChunkedLogDecoder> decoders; ///< [tid]
     std::vector<std::vector<Event>> decoded; ///< [tid]
     std::size_t decodedEvents = 0;
+    /** SiteSummary events among the decoded (wire v4 Summary echo). */
+    std::uint64_t summaryEvents = 0;
 
     /** Bytes currently charged against the mux's global budget. */
     std::size_t accounted = 0;
@@ -374,9 +376,12 @@ SessionMux::pump(const std::shared_ptr<Session> &session)
         Event e;
         DecodeStatus status;
         std::size_t decoded_now = 0;
+        std::uint64_t summaries_now = 0;
         while ((status = decoder.next(e)) == DecodeStatus::Ok) {
             out.push_back(e);
             ++decoded_now;
+            if (e.kind == EventKind::SiteSummary)
+                ++summaries_now;
         }
         if (status == DecodeStatus::Corrupt) {
             failSession(session, RejectCode::CorruptLog,
@@ -394,6 +399,7 @@ SessionMux::pump(const std::shared_ptr<Session> &session)
             }
             session->queuedBytes -= chunk.bytes.size();
             session->decodedEvents += decoded_now;
+            session->summaryEvents += summaries_now;
             session->accounted += event_bytes;
             session->accounted -= chunk.bytes.size();
             // One accounting call per chunk: charge the decoded events
@@ -531,6 +537,8 @@ SessionMux::analyze(const std::shared_ptr<Session> &session)
     result.realizedSpans = std::move(spans);
     result.hChanges = h_changes;
     result.degradePartial = degrade_partial;
+    result.planFingerprint = session->spec.planFingerprint;
+    result.summaryEvents = session->summaryEvents;
     result.metrics = session->metrics.snapshot();
     publish(std::move(result));
 }

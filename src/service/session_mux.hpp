@@ -128,6 +128,10 @@ struct SessionResult
     std::vector<std::uint32_t> realizedSpans;
     /** How often the realized merge width changed mid-stream. */
     std::uint64_t hChanges = 0;
+    /** v4: the client's declared ElisionPlan fingerprint (echo). */
+    std::uint64_t planFingerprint = 0;
+    /** v4: SiteSummary events decoded from this session's log. */
+    std::uint64_t summaryEvents = 0;
     /** Session degraded to Partial: ship only the Summary fingerprint. */
     bool degradePartial = false;
     /** Snapshot of the session's private telemetry registry. */

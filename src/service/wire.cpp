@@ -206,6 +206,7 @@ encodeSessionOpen(const SessionSpec &spec)
     w.putVarint(spec.windowEpochs);
     w.putU64(spec.heapBase);
     w.putU64(spec.heapLimit);
+    w.putU64(spec.planFingerprint);
     return std::move(w.out);
 }
 
@@ -219,7 +220,8 @@ decodeSessionOpen(std::span<const std::uint8_t> payload, SessionSpec &out)
                     r.getU8(out.memModel) && r.getU8(flags) &&
                     r.getVarint(threads) && r.getVarint(gran) &&
                     r.getVarint(h) && r.getVarint(window) &&
-                    r.getU64(out.heapBase) && r.getU64(out.heapLimit);
+                    r.getU64(out.heapBase) && r.getU64(out.heapLimit) &&
+                    r.getU64(out.planFingerprint);
     if (statusOf(ok, r) != DecodeStatus::Ok)
         return DecodeStatus::Corrupt;
     if (version != kWireVersion || threads == 0 || threads > 1u << 16 ||
@@ -423,6 +425,8 @@ encodeSummary(const SummaryInfo &info)
     w.putVarint(info.busyCount);
     w.putVarint(info.peakResidentEpochs);
     w.putU64(info.fingerprint);
+    w.putU64(info.planFingerprint);
+    w.putVarint(info.summaryEvents);
     return std::move(w.out);
 }
 
@@ -437,7 +441,9 @@ decodeSummary(std::span<const std::uint8_t> payload, SummaryInfo &out)
                     r.getVarint(out.sosTotal) &&
                     r.getVarint(out.busyCount) &&
                     r.getVarint(out.peakResidentEpochs) &&
-                    r.getU64(out.fingerprint);
+                    r.getU64(out.fingerprint) &&
+                    r.getU64(out.planFingerprint) &&
+                    r.getVarint(out.summaryEvents);
     if (statusOf(ok, r) != DecodeStatus::Ok || status > 1)
         return DecodeStatus::Corrupt;
     out.status = static_cast<SummaryStatus>(status);

@@ -37,10 +37,13 @@ namespace bfly::service {
 /** Protocol revision carried in SessionOpen. v2 added shardCount to
  *  SessionAccept; v3 added the EpochHint frame (advisory epoch-sizing
  *  feedback — a peer that does not understand it may simply skip it)
- *  and RejectCode::Overload (servers reject other versions, so both
- *  ends move together — the repo ships client and server from one
- *  tree). */
-inline constexpr std::uint8_t kWireVersion = 3;
+ *  and RejectCode::Overload; v4 added the elision-plan fingerprint to
+ *  SessionOpen (the client declares which static ElisionPlan its log
+ *  was generated under, 0 = none) and its echo plus the decoded
+ *  SiteSummary count to Summary, so both ends can assert they agree on
+ *  what was elided (servers reject other versions, so both ends move
+ *  together — the repo ships client and server from one tree). */
+inline constexpr std::uint8_t kWireVersion = 4;
 
 /** Hard cap on one frame's payload (bounds every inbound allocation). */
 inline constexpr std::size_t kMaxFramePayload = 1u << 20;
@@ -132,6 +135,10 @@ struct SessionSpec
     std::uint64_t heapLimit = 0;
     std::uint64_t globalH = 64;      ///< diagnostic; slicing uses markers
     std::uint32_t windowEpochs = 4;  ///< EpochStream ring size
+    /** v4: fingerprint of the ElisionPlan the log was generated under
+     *  (staticpass::ElisionPlan::fingerprint(); 0 = no elision). The
+     *  server echoes it in Summary so a mismatch is detectable. */
+    std::uint64_t planFingerprint = 0;
 };
 
 struct SessionAcceptInfo
@@ -184,6 +191,11 @@ struct SummaryInfo
     std::uint64_t busyCount = 0;    ///< sheds this session survived
     std::uint64_t peakResidentEpochs = 0;
     std::uint64_t fingerprint = 0;  ///< dataflow fingerprint
+    /** v4: echo of SessionSpec::planFingerprint. */
+    std::uint64_t planFingerprint = 0;
+    /** v4: SiteSummary events decoded from the session's log — the
+     *  server-observed evidence of elision on the wire. */
+    std::uint64_t summaryEvents = 0;
 };
 
 std::vector<std::uint8_t> encodeSessionOpen(const SessionSpec &spec);

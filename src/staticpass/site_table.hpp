@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Site table: stable identities for event-emitting sites.
+ *
+ * The static elision pass classifies *sites*, not individual dynamic
+ * events: a site is one emitting location in the synthetic workload
+ * kernels (they are this repo's IR — codegen is controlled in
+ * src/workloads/), named by the generator via ProgramBuilder::beginSite
+ * and stamped into every event it emits. Traces that arrive without
+ * generation-side stamps (the fuzzer's adversarial programs, loaded
+ * logs) get deterministic *pseudo-sites* keyed by (thread, event kind,
+ * 64-byte address region) — a pure function of event content, so the
+ * same trace always yields the same site table and therefore the same
+ * ElisionPlan fingerprint on both ends of the wire.
+ *
+ * SiteId 0 (kNoSite) means "unattributed" and is never classified
+ * better than MustMonitor, so unstamped events are never elided.
+ */
+
+#ifndef BUTTERFLY_STATICPASS_SITE_TABLE_HPP
+#define BUTTERFLY_STATICPASS_SITE_TABLE_HPP
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace bfly::staticpass {
+
+using SiteId = std::uint32_t;
+
+/** Reserved id for events with no emitting-site attribution. */
+inline constexpr SiteId kNoSite = 0;
+
+/** Interns site names; ids are dense, stable and start at 1. */
+class SiteTable
+{
+  public:
+    /** Id for @p name, interning it on first use. */
+    SiteId intern(const std::string &name);
+
+    /** Id for @p name, or kNoSite if it was never interned. */
+    SiteId lookup(const std::string &name) const;
+
+    /** Name of @p id ("?" for kNoSite or out-of-range ids). */
+    const std::string &name(SiteId id) const;
+
+    /** Number of interned sites; valid ids are 1..size(). */
+    std::size_t size() const { return names_.size(); }
+
+  private:
+    std::vector<std::string> names_; ///< names_[id - 1]
+    std::unordered_map<std::string, SiteId> byName_;
+};
+
+/**
+ * Stamp a deterministic pseudo-site onto every unattributed
+ * (site == kNoSite) event that touches memory, interning the site names
+ * into @p table. Nops are also stamped (one per-thread site keyed on
+ * region 0): they are invisible to every lifeguard, so their pseudo-
+ * site is trivially elidable. Other addressless events (heartbeats,
+ * barriers) stay unattributed and are conservatively retained.
+ * @return events stamped
+ */
+std::size_t assignPseudoSites(std::vector<std::vector<Event>> &programs,
+                              SiteTable &table);
+std::size_t assignPseudoSites(Trace &trace, SiteTable &table);
+
+} // namespace bfly::staticpass
+
+#endif // BUTTERFLY_STATICPASS_SITE_TABLE_HPP

@@ -22,6 +22,7 @@ eventKindName(EventKind kind)
       case EventKind::Lock:      return "lock";
       case EventKind::Unlock:    return "unlock";
       case EventKind::Output:    return "output";
+      case EventKind::SiteSummary: return "site_summary";
     }
     return "?";
 }
@@ -31,6 +32,10 @@ Event::toString() const
 {
     std::ostringstream os;
     os << eventKindName(kind);
+    if (kind == EventKind::SiteSummary) {
+        os << " site " << site << " x" << summaryCount();
+        return os.str();
+    }
     if (addr != kNoAddr)
         os << " 0x" << std::hex << addr << std::dec;
     if (size != 0)

@@ -43,6 +43,10 @@ enum class EventKind : std::uint8_t {
     Lock,      ///< acquire the lock whose identity is @c addr
     Unlock,    ///< release the lock whose identity is @c addr
     Output,    ///< [addr, addr+size) flows to an output sink (LOG/SEND)
+    SiteSummary, ///< stands in for @c summaryCount() elided events from
+                 ///< emitting site @c site (static elision; see
+                 ///< src/staticpass/). Every lifeguard treats it as a
+                 ///< no-op; only event accounting reads the count.
 };
 
 /** Printable name of an event kind. */
@@ -54,6 +58,8 @@ struct Event
     EventKind kind = EventKind::Nop;
     std::uint8_t nsrc = 0;   ///< number of valid sources (Assign only)
     std::uint16_t size = 0;  ///< bytes touched (accesses / allocs / taint)
+    std::uint32_t site = 0;  ///< emitting site id (0 = unattributed); fills
+                             ///< the former padding hole, so sizeof holds
     Addr addr = kNoAddr;     ///< destination or accessed address
     Addr src0 = kNoAddr;     ///< first source (Assign)
     Addr src1 = kNoAddr;     ///< second source (Assign)
@@ -62,94 +68,109 @@ struct Event
     static Event
     read(Addr a, std::uint16_t sz = 4)
     {
-        return {EventKind::Read, 0, sz, a, kNoAddr, kNoAddr, 0};
+        return {EventKind::Read, 0, sz, 0, a, kNoAddr, kNoAddr, 0};
     }
 
     static Event
     write(Addr a, std::uint16_t sz = 4)
     {
-        return {EventKind::Write, 0, sz, a, kNoAddr, kNoAddr, 0};
+        return {EventKind::Write, 0, sz, 0, a, kNoAddr, kNoAddr, 0};
     }
 
     static Event
     alloc(Addr a, std::uint16_t sz)
     {
-        return {EventKind::Alloc, 0, sz, a, kNoAddr, kNoAddr, 0};
+        return {EventKind::Alloc, 0, sz, 0, a, kNoAddr, kNoAddr, 0};
     }
 
     static Event
     freeOf(Addr a, std::uint16_t sz = 0)
     {
-        return {EventKind::Free, 0, sz, a, kNoAddr, kNoAddr, 0};
+        return {EventKind::Free, 0, sz, 0, a, kNoAddr, kNoAddr, 0};
     }
 
     static Event
     taintSrc(Addr a, std::uint16_t sz = 1)
     {
-        return {EventKind::TaintSrc, 0, sz, a, kNoAddr, kNoAddr, 0};
+        return {EventKind::TaintSrc, 0, sz, 0, a, kNoAddr, kNoAddr, 0};
     }
 
     static Event
     untaint(Addr a, std::uint16_t sz = 1)
     {
-        return {EventKind::Untaint, 0, sz, a, kNoAddr, kNoAddr, 0};
+        return {EventKind::Untaint, 0, sz, 0, a, kNoAddr, kNoAddr, 0};
     }
 
     /** dst := unop(src). */
     static Event
     assign(Addr dst, Addr src)
     {
-        return {EventKind::Assign, 1, 4, dst, src, kNoAddr, 0};
+        return {EventKind::Assign, 1, 4, 0, dst, src, kNoAddr, 0};
     }
 
     /** dst := binop(srcA, srcB). */
     static Event
     assign2(Addr dst, Addr src_a, Addr src_b)
     {
-        return {EventKind::Assign, 2, 4, dst, src_a, src_b, 0};
+        return {EventKind::Assign, 2, 4, 0, dst, src_a, src_b, 0};
     }
 
     static Event
     use(Addr a)
     {
-        return {EventKind::Use, 0, 1, a, kNoAddr, kNoAddr, 0};
+        return {EventKind::Use, 0, 1, 0, a, kNoAddr, kNoAddr, 0};
     }
 
     static Event
     heartbeat()
     {
-        return {EventKind::Heartbeat, 0, 0, kNoAddr, kNoAddr, kNoAddr, 0};
+        return {EventKind::Heartbeat, 0, 0, 0, kNoAddr, kNoAddr, kNoAddr, 0};
     }
 
     static Event
     barrier()
     {
-        return {EventKind::Barrier, 0, 0, kNoAddr, kNoAddr, kNoAddr, 0};
+        return {EventKind::Barrier, 0, 0, 0, kNoAddr, kNoAddr, kNoAddr, 0};
     }
 
     static Event
     nop()
     {
-        return {EventKind::Nop, 0, 0, kNoAddr, kNoAddr, kNoAddr, 0};
+        return {EventKind::Nop, 0, 0, 0, kNoAddr, kNoAddr, kNoAddr, 0};
     }
 
     static Event
     lock(Addr l)
     {
-        return {EventKind::Lock, 0, 0, l, kNoAddr, kNoAddr, 0};
+        return {EventKind::Lock, 0, 0, 0, l, kNoAddr, kNoAddr, 0};
     }
 
     static Event
     unlock(Addr l)
     {
-        return {EventKind::Unlock, 0, 0, l, kNoAddr, kNoAddr, 0};
+        return {EventKind::Unlock, 0, 0, 0, l, kNoAddr, kNoAddr, 0};
     }
 
     static Event
     output(Addr a, std::uint16_t sz = 8)
     {
-        return {EventKind::Output, 0, sz, a, kNoAddr, kNoAddr, 0};
+        return {EventKind::Output, 0, sz, 0, a, kNoAddr, kNoAddr, 0};
     }
+
+    /**
+     * Stand-in for @p count elided events emitted by site @p site_id.
+     * The count rides in src0 (summaries have no sources); the encoder
+     * caps it at 2^48-1, far beyond any real trace.
+     */
+    static Event
+    siteSummary(std::uint32_t site_id, std::uint64_t count)
+    {
+        return {EventKind::SiteSummary, 0,      0, site_id,
+                kNoAddr,                count, kNoAddr, 0};
+    }
+
+    /** Elided events this summary stands for (SiteSummary only). */
+    std::uint64_t summaryCount() const { return src0; }
 
     /** True for events that read or write application memory. */
     bool

@@ -11,6 +11,10 @@ constexpr std::uint8_t kKindMask = 0x0f;
 constexpr std::uint8_t kSizeFlag = 0x10;
 constexpr unsigned kNsrcShift = 5;
 
+/** SiteSummary count cap: a hostile varint may not claim more elided
+ *  events than any real trace could hold (2^48 ~ 280 trillion). */
+constexpr std::uint64_t kMaxSummaryCount = (1ull << 48) - 1;
+
 /** Default size per kind (encoded only when it differs). */
 std::uint16_t
 defaultSize(EventKind kind)
@@ -38,6 +42,7 @@ hasAddress(EventKind kind)
       case EventKind::Heartbeat:
       case EventKind::Barrier:
       case EventKind::Nop:
+      case EventKind::SiteSummary: // custom payload: site + count varints
         return false;
       default:
         return true;
@@ -84,6 +89,17 @@ LogEncoder::encode(const Event &e)
 {
     const auto kind = static_cast<std::uint8_t>(e.kind);
     ensure(kind <= kKindMask, "event kind does not fit the opcode");
+
+    if (e.kind == EventKind::SiteSummary) {
+        ensure(e.summaryCount() >= 1 &&
+                   e.summaryCount() <= kMaxSummaryCount,
+               "site summary count out of range");
+        bytes_.push_back(kind); // no size flag, no sources
+        putVarint(e.site);
+        putVarint(e.summaryCount());
+        ++count_;
+        return;
+    }
 
     std::uint8_t opcode =
         kind | (static_cast<std::uint8_t>(e.nsrc) << kNsrcShift);
@@ -168,12 +184,36 @@ LogDecoder::tryDecode(Event &out)
     Event e;
     e.kind = static_cast<EventKind>(opcode & kKindMask);
     if ((opcode & kKindMask) >
-        static_cast<std::uint8_t>(EventKind::Output))
+        static_cast<std::uint8_t>(EventKind::SiteSummary))
         return fail(DecodeStatus::Corrupt); // hole in the kind space
     e.nsrc = static_cast<std::uint8_t>(opcode >> kNsrcShift) & 0x3;
     if (e.nsrc > 2)
         return fail(DecodeStatus::Corrupt); // encoder emits 0..2 only
     e.size = defaultSize(e.kind);
+
+    if (e.kind == EventKind::SiteSummary) {
+        // Summaries carry no size flag or sources; the payload is two
+        // varints (site id, elided-event count), both range-checked so
+        // a hostile log can neither overflow the 32-bit site id nor
+        // claim an absurd count.
+        if ((opcode & kSizeFlag) || e.nsrc != 0)
+            return fail(DecodeStatus::Corrupt);
+        std::uint64_t site = 0, count = 0;
+        DecodeStatus status = getVarint(site);
+        if (status != DecodeStatus::Ok)
+            return fail(status);
+        if (site > 0xFFFFFFFFull)
+            return fail(DecodeStatus::Corrupt); // site id is 32-bit
+        status = getVarint(count);
+        if (status != DecodeStatus::Ok)
+            return fail(status);
+        if (count == 0 || count > kMaxSummaryCount)
+            return fail(DecodeStatus::Corrupt);
+        e.site = static_cast<std::uint32_t>(site);
+        e.src0 = count;
+        out = e;
+        return DecodeStatus::Ok;
+    }
 
     if (!hasAddress(e.kind)) {
         // Addressless opcodes carry no payload; the encoder never sets

@@ -16,6 +16,10 @@
  * Round-trip (encode then decode) is exact for every field the
  * lifeguards consume; gseq stamps are execution metadata and are *not*
  * encoded (a real log has no global order — that is the whole premise).
+ * The per-event `site` id is likewise generation-side metadata and is
+ * dropped — except on SiteSummary events, whose whole payload is the
+ * (site, elided-count) pair the static elision pass emits in place of a
+ * run of provably-uninteresting events (see src/staticpass/).
  */
 
 #ifndef BUTTERFLY_TRACE_LOG_CODEC_HPP

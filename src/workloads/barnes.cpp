@@ -37,11 +37,19 @@ makeBarnes(const WorkloadConfig &config)
      *  phases to preserve the churn-per-epoch ratio. */
     const std::size_t phases_per_rebuild = 30;
 
-    // Private body arrays, allocated once up front by their owners.
+    // Private body arrays, allocated and initialized once up front by
+    // their owners (the real code loads particle data before stepping).
     std::vector<Addr> bodies(T);
+    b.beginSite("barnes/body-alloc");
     for (ThreadId t = 0; t < T; ++t)
         bodies[t] = b.malloc(t, body_bytes);
+    b.beginSite("barnes/body-init");
+    for (ThreadId t = 0; t < T; ++t) {
+        for (std::size_t k = 0; k < body_bytes / 32; ++k)
+            b.write(t, bodies[t] + 32 * k, 8);
+    }
     b.barrier();
+    b.beginSite("barnes/idle");
     for (ThreadId t = 0; t < T; ++t)
         b.nop(t, config.warmupNops); // sequential-init spacer
     b.barrier();
@@ -49,6 +57,7 @@ makeBarnes(const WorkloadConfig &config)
     std::vector<std::vector<Addr>> nodes(T);
     while (!b.budgetExhausted()) {
         // Phase 1: tree build — many small concurrent allocations.
+        b.beginSite("barnes/tree-build");
         for (ThreadId t = 0; t < T; ++t) {
             nodes[t].clear();
             for (std::size_t k = 0; k < nodes_per_thread; ++k) {
@@ -76,12 +85,14 @@ makeBarnes(const WorkloadConfig &config)
                     cross ? static_cast<ThreadId>(b.rng().below(T)) : t;
                 const auto &pool = nodes[owner];
                 const Addr node = pool[b.rng().below(pool.size())];
+                b.beginSite("barnes/traverse");
                 b.read(t, node, 8);
                 b.read(t, node + 32, 8);
                 // Bodies are updated in order (the real code walks the
                 // thread's body list): good spatial locality.
                 body_cursor = (body_cursor + 1) % (body_bytes / 32);
                 const Addr body = bodies[t] + 32 * body_cursor;
+                b.beginSite("barnes/body-update");
                 b.read(t, body, 8);
                 b.write(t, body, 8);
                 b.nop(t, 2); // force arithmetic
@@ -91,6 +102,7 @@ makeBarnes(const WorkloadConfig &config)
         }
 
         // Phase 3: tree teardown.
+        b.beginSite("barnes/tree-teardown");
         for (ThreadId t = 0; t < T; ++t) {
             for (Addr node : nodes[t])
                 b.free(t, node);
@@ -98,9 +110,11 @@ makeBarnes(const WorkloadConfig &config)
         b.barrier();
     }
 
+    b.beginSite("barnes/idle");
     for (ThreadId t = 0; t < T; ++t)
         b.nop(t, config.warmupNops); // cooldown before teardown
     b.barrier();
+    b.beginSite("barnes/body-teardown");
     for (ThreadId t = 0; t < T; ++t)
         b.free(t, bodies[t]);
     return b.finish("barnes");

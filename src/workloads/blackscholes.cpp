@@ -2,9 +2,9 @@
  * @file
  * BLACKSCHOLES-like workload (Parsec 2.0 option pricing).
  *
- * Structure reproduced: the main thread allocates the option and result
- * arrays; after a single barrier every thread streams through its private
- * chunk — several reads of option fields, repeated reads of a small shared
+ * Structure reproduced: the main thread publishes a small constants
+ * table; every worker allocates and loads its private option and result
+ * chunk; after a single barrier every thread streams through its chunk — several reads of option fields, repeated reads of a small shared
  * constants table, a long stretch of register-only compute (Nops), one
  * result write. No cross-thread sharing and almost no allocation activity:
  * the embarrassingly-parallel, compute-dense profile that keeps the
@@ -29,17 +29,31 @@ makeBlackscholes(const WorkloadConfig &config)
     const std::size_t chunk_options = 64;
     const std::size_t compute_nops = 7; // compute-dense kernel
 
-    // Main thread allocates everything (chunked per thread so blocks stay
-    // within the allocator's size cap, as real workers index one array).
+    // Main thread allocates the shared constants table; each worker
+    // allocates its own option/result chunk and loads the option data
+    // into it (chunked per thread so blocks stay within the allocator's
+    // size cap, as real workers index one array).
     std::vector<Addr> options(T), results(T);
+    b.beginSite("blackscholes/constants-init");
     const Addr constants = b.malloc(0, 256);
-    for (ThreadId t = 0; t < T; ++t) {
-        options[t] = b.malloc(0, chunk_options * option_bytes);
-        results[t] = b.malloc(0, chunk_options * 8);
-    }
     for (std::size_t k = 0; k < 256; k += 8)
         b.write(0, constants + k, 8);
+    b.beginSite("blackscholes/chunk-alloc");
+    for (ThreadId t = 0; t < T; ++t) {
+        options[t] = b.malloc(t, chunk_options * option_bytes);
+        results[t] = b.malloc(t, chunk_options * 8);
+    }
+    b.beginSite("blackscholes/option-load");
+    for (ThreadId t = 0; t < T; ++t) {
+        for (std::size_t i = 0; i < chunk_options; ++i) {
+            const Addr opt = options[t] + i * option_bytes;
+            b.write(t, opt, 8);
+            b.write(t, opt + 8, 8);
+            b.write(t, opt + 16, 8);
+        }
+    }
     b.barrier();
+    b.beginSite("blackscholes/idle");
     for (ThreadId t = 0; t < T; ++t)
         b.nop(t, config.warmupNops); // sequential-init spacer
     b.barrier();
@@ -49,23 +63,29 @@ makeBlackscholes(const WorkloadConfig &config)
         for (ThreadId t = 0; t < T; ++t) {
             for (std::size_t i = 0; i < chunk_options; ++i) {
                 const Addr opt = options[t] + i * option_bytes;
+                b.beginSite("blackscholes/option-read");
                 b.read(t, opt, 8);      // spot
                 b.read(t, opt + 8, 8);  // strike
                 b.read(t, opt + 16, 8); // rate/volatility
+                b.beginSite("blackscholes/constants-read");
                 b.read(t, constants + 8 * ((i + sweep) % 32), 8);
+                b.beginSite("blackscholes/compute");
                 b.nop(t, compute_nops); // CNDF evaluation
+                b.beginSite("blackscholes/result-write");
                 b.write(t, results[t] + i * 8, 8);
             }
         }
         ++sweep;
     }
 
+    b.beginSite("blackscholes/idle");
     for (ThreadId t = 0; t < T; ++t)
         b.nop(t, config.warmupNops); // cooldown before teardown
-    b.barrier(); // quiesce workers before the main thread tears down
+    b.barrier(); // quiesce workers before teardown
+    b.beginSite("blackscholes/teardown");
     for (ThreadId t = 0; t < T; ++t) {
-        b.free(0, options[t]);
-        b.free(0, results[t]);
+        b.free(t, options[t]);
+        b.free(t, results[t]);
     }
     b.free(0, constants);
     return b.finish("blackscholes");

@@ -28,9 +28,11 @@ makeFft(const WorkloadConfig &config)
 
     // Each thread owns one contiguous partition of the shared matrix.
     std::vector<Addr> partition(T);
+    b.beginSite("fft/partition-alloc");
     for (ThreadId t = 0; t < T; ++t)
         partition[t] = b.malloc(t, partition_bytes);
     b.barrier();
+    b.beginSite("fft/idle");
     for (ThreadId t = 0; t < T; ++t)
         b.nop(t, config.warmupNops);
     b.barrier();
@@ -41,6 +43,7 @@ makeFft(const WorkloadConfig &config)
         // first-fit reuse of a freed scratch address by another thread
         // is always barrier-separated (keeps the workload race-free).
         std::vector<Addr> scratches(T);
+        b.beginSite("fft/scratch-alloc");
         for (ThreadId t = 0; t < T; ++t)
             scratches[t] = b.malloc(t, scratch_bytes);
         for (ThreadId t = 0; t < T; ++t) {
@@ -50,13 +53,16 @@ makeFft(const WorkloadConfig &config)
                 for (std::size_t k = 0; k < work_per_phase; ++k) {
                     const Addr e = partition[t] +
                                    stride * ((phase * 61 + k) % elems);
+                    b.beginSite("fft/butterfly");
                     b.read(t, e, 8);
                     b.write(t, e, 8);
+                    b.beginSite("fft/scratch-spill");
                     b.write(t, scratch + stride * (k % 64), 8);
                     b.nop(t);
                 }
             } else {
                 // Transpose: gather elements from every partition.
+                b.beginSite("fft/transpose");
                 for (std::size_t k = 0; k < work_per_phase; ++k) {
                     const ThreadId owner =
                         static_cast<ThreadId>((t + k) % T);
@@ -69,15 +75,18 @@ makeFft(const WorkloadConfig &config)
                 }
             }
         }
+        b.beginSite("fft/scratch-free");
         for (ThreadId t = 0; t < T; ++t)
             b.free(t, scratches[t]);
         b.barrier();
         ++phase;
     }
 
+    b.beginSite("fft/idle");
     for (ThreadId t = 0; t < T; ++t)
         b.nop(t, config.warmupNops);
     b.barrier();
+    b.beginSite("fft/teardown");
     for (ThreadId t = 0; t < T; ++t)
         b.free(t, partition[t]);
     return b.finish("fft");

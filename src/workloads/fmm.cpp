@@ -26,6 +26,7 @@ makeFmm(const WorkloadConfig &config)
         std::max<std::size_t>(48, config.phaseEvents / 6);
 
     std::vector<std::vector<Addr>> cells(T);
+    b.beginSite("fmm/cell-init");
     for (ThreadId t = 0; t < T; ++t) {
         for (std::size_t c = 0; c < cells_per_thread; ++c) {
             const Addr cell = b.malloc(t, cell_bytes);
@@ -34,6 +35,7 @@ makeFmm(const WorkloadConfig &config)
         }
     }
     b.barrier();
+    b.beginSite("fmm/idle");
     for (ThreadId t = 0; t < T; ++t)
         b.nop(t, config.warmupNops);
     b.barrier();
@@ -41,6 +43,7 @@ makeFmm(const WorkloadConfig &config)
     while (!b.budgetExhausted()) {
         // Interaction-list construction: transient per-thread allocations.
         std::vector<Addr> lists(T);
+        b.beginSite("fmm/list-build");
         for (ThreadId t = 0; t < T; ++t) {
             lists[t] = b.malloc(t, list_bytes);
             for (std::size_t k = 0; k < 8; ++k)
@@ -60,23 +63,28 @@ makeFmm(const WorkloadConfig &config)
                 const auto &pool = cells[owner];
                 const Addr cell = pool[b.rng().below(pool.size())];
                 const Addr field = cell + 64 * (k % 32);
+                b.beginSite("fmm/multipole-eval");
                 b.read(t, field, 8);
                 b.read(t, field + 8, 8);
                 b.write(t, cells[t][k % cells_per_thread] + 128, 8);
-                b.read(t, lists[t] + 16 * (k % 32), 8);
+                b.beginSite("fmm/list-walk");
+                b.read(t, lists[t] + 16 * (k % 8), 8);
                 b.nop(t, 2);
             }
         }
         b.barrier();
 
+        b.beginSite("fmm/list-free");
         for (ThreadId t = 0; t < T; ++t)
             b.free(t, lists[t]);
         b.barrier();
     }
 
+    b.beginSite("fmm/idle");
     for (ThreadId t = 0; t < T; ++t)
         b.nop(t, config.warmupNops);
     b.barrier();
+    b.beginSite("fmm/teardown");
     for (ThreadId t = 0; t < T; ++t) {
         for (Addr cell : cells[t])
             b.free(t, cell);

@@ -31,11 +31,13 @@ makeLu(const WorkloadConfig &config)
 
     // Blocks allocated by their owners.
     std::vector<Addr> block(nb * nb);
+    b.beginSite("lu/block-alloc");
     for (std::size_t i = 0; i < nb; ++i) {
         for (std::size_t j = 0; j < nb; ++j)
             block[i * nb + j] = b.malloc(owner_of(i, j), block_bytes);
     }
     b.barrier();
+    b.beginSite("lu/idle");
     for (ThreadId t = 0; t < T; ++t)
         b.nop(t, config.warmupNops);
     b.barrier();
@@ -57,6 +59,7 @@ makeLu(const WorkloadConfig &config)
             const ThreadId pivot_owner = owner_of(k, k);
 
             // Factorize the diagonal block.
+            b.beginSite("lu/factorize");
             touch_block(pivot_owner, pivot, true, k);
             b.barrier();
 
@@ -64,10 +67,12 @@ makeLu(const WorkloadConfig &config)
             // Pivot-row copies are allocated up front and freed together
             // so first-fit address reuse stays barrier-separated.
             std::vector<std::pair<ThreadId, Addr>> scratches;
+            b.beginSite("lu/scratch-alloc");
             for (std::size_t j = k + 1; j < nb; ++j) {
                 const ThreadId t = owner_of(k, j);
                 scratches.emplace_back(t, b.malloc(t, 256));
             }
+            b.beginSite("lu/row-col-update");
             for (std::size_t j = k + 1; j < nb; ++j) {
                 const ThreadId t = owner_of(k, j);
                 touch_block(t, pivot, false, j);
@@ -77,11 +82,13 @@ makeLu(const WorkloadConfig &config)
                 touch_block(u, pivot, false, j + nb);
                 touch_block(u, block[j * nb + k], true, j + nb);
             }
+            b.beginSite("lu/scratch-free");
             for (const auto &[t, scratch] : scratches)
                 b.free(t, scratch);
             b.barrier();
 
             // Trailing submatrix update (sampled).
+            b.beginSite("lu/trailing-update");
             for (std::size_t i = k + 1; i < nb; ++i) {
                 const std::size_t j = k + 1 + (i % (nb - k - 1 ? nb - k - 1 : 1));
                 const std::size_t jj = j < nb ? j : nb - 1;
@@ -94,9 +101,11 @@ makeLu(const WorkloadConfig &config)
         }
     }
 
+    b.beginSite("lu/idle");
     for (ThreadId t = 0; t < T; ++t)
         b.nop(t, config.warmupNops);
     b.barrier();
+    b.beginSite("lu/teardown");
     for (std::size_t i = 0; i < nb * nb; ++i)
         b.free(owner_of(i / nb, i % nb), block[i]);
     return b.finish("lu");

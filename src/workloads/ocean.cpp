@@ -42,13 +42,22 @@ makeOcean(const WorkloadConfig &config)
     const std::size_t reclaim_lag = 3;
 
     // Each thread owns a contiguous band of rows (allocated in row
-    // chunks to respect the event size field).
+    // chunks to respect the event size field). Rows are initialized by
+    // their owner before the first sweep, as the real benchmark does.
     std::vector<std::vector<Addr>> band(T);
+    b.beginSite("ocean/band-alloc");
     for (ThreadId t = 0; t < T; ++t) {
         for (std::size_t r = 0; r < rows_per_thread; ++r)
             band[t].push_back(b.malloc(t, row_bytes));
     }
+    b.beginSite("ocean/band-init");
+    for (ThreadId t = 0; t < T; ++t) {
+        for (std::size_t r = 0; r < rows_per_thread; ++r)
+            for (std::size_t c = 0; c < cols_sampled; ++c)
+                b.write(t, band[t][r] + c * stride, 8);
+    }
     b.barrier();
+    b.beginSite("ocean/idle");
     for (ThreadId t = 0; t < T; ++t)
         b.nop(t, config.warmupNops);
     b.barrier();
@@ -57,18 +66,25 @@ makeOcean(const WorkloadConfig &config)
     std::vector<std::deque<Addr>> boundary(T);
 
     while (!b.budgetExhausted()) {
-        // Publish this iteration's boundary buffer.
+        // Publish this iteration's boundary buffer. The gather from the
+        // own band is a distinct site from the scatter into the shared
+        // buffer: the former touches only private rows, the latter is
+        // what the neighbours will read.
         for (ThreadId t = 0; t < T; ++t) {
+            b.beginSite("ocean/publish-alloc");
             const Addr buf = b.malloc(t, row_bytes);
             boundary[t].push_back(buf);
             for (std::size_t c = 0; c < cols_sampled; ++c) {
+                b.beginSite("ocean/publish-gather");
                 b.read(t, band[t][rows_per_thread - 1] + c * stride, 8);
+                b.beginSite("ocean/publish-scatter");
                 b.write(t, buf + c * stride, 8);
             }
         }
         b.barrier();
 
         // Stencil sweeps over the own band — the long phase.
+        b.beginSite("ocean/stencil-sweep");
         for (ThreadId t = 0; t < T; ++t) {
             for (std::size_t s = 0; s < sweeps_per_iteration; ++s)
             for (std::size_t r = 0; r < rows_per_thread; ++r) {
@@ -83,6 +99,7 @@ makeOcean(const WorkloadConfig &config)
 
         // Boundary exchange: read the buffers the neighbours published
         // *last* iteration (double buffering).
+        b.beginSite("ocean/boundary-exchange");
         for (ThreadId t = 0; t < T; ++t) {
             const ThreadId up = (t + T - 1) % T;
             const ThreadId down = (t + 1) % T;
@@ -98,6 +115,7 @@ makeOcean(const WorkloadConfig &config)
         b.barrier();
 
         // Deferred reclamation of buffers older than the lag.
+        b.beginSite("ocean/reclaim");
         for (ThreadId t = 0; t < T; ++t) {
             while (boundary[t].size() > reclaim_lag) {
                 b.free(t, boundary[t].front());
@@ -107,9 +125,11 @@ makeOcean(const WorkloadConfig &config)
         b.barrier();
     }
 
+    b.beginSite("ocean/idle");
     for (ThreadId t = 0; t < T; ++t)
         b.nop(t, config.warmupNops);
     b.barrier();
+    b.beginSite("ocean/teardown");
     for (ThreadId t = 0; t < T; ++t) {
         for (Addr buf : boundary[t])
             b.free(t, buf);

@@ -13,29 +13,45 @@ ProgramBuilder::ProgramBuilder(const WorkloadConfig &config, Addr heap_base,
     ensure(config_.numThreads > 0, "workload needs at least one thread");
 }
 
+staticpass::SiteId
+ProgramBuilder::beginSite(const std::string &name)
+{
+    site_ = sites_.intern(name);
+    return site_;
+}
+
 void
 ProgramBuilder::read(ThreadId t, Addr addr, std::uint16_t size)
 {
-    programs_[t].push_back(Event::read(addr, size));
+    Event e = Event::read(addr, size);
+    e.site = site_;
+    programs_[t].push_back(e);
 }
 
 void
 ProgramBuilder::write(ThreadId t, Addr addr, std::uint16_t size)
 {
-    programs_[t].push_back(Event::write(addr, size));
+    Event e = Event::write(addr, size);
+    e.site = site_;
+    programs_[t].push_back(e);
 }
 
 void
 ProgramBuilder::nop(ThreadId t, std::size_t count)
 {
+    Event e = Event::nop();
+    e.site = site_;
     for (std::size_t k = 0; k < count; ++k)
-        programs_[t].push_back(Event::nop());
+        programs_[t].push_back(e);
 }
 
 void
 ProgramBuilder::emit(ThreadId t, const Event &e)
 {
-    programs_[t].push_back(e);
+    Event stamped = e;
+    if (stamped.site == staticpass::kNoSite)
+        stamped.site = site_;
+    programs_[t].push_back(stamped);
 }
 
 Addr
@@ -43,8 +59,9 @@ ProgramBuilder::malloc(ThreadId t, std::size_t size)
 {
     const Addr addr = heap_.malloc(size);
     ensure(addr != kNoAddr, "workload heap exhausted; raise heap size");
-    programs_[t].push_back(
-        Event::alloc(addr, static_cast<std::uint16_t>(size)));
+    Event e = Event::alloc(addr, static_cast<std::uint16_t>(size));
+    e.site = site_;
+    programs_[t].push_back(e);
     return addr;
 }
 
@@ -53,8 +70,9 @@ ProgramBuilder::free(ThreadId t, Addr addr)
 {
     const std::size_t size = heap_.free(addr);
     ensure(size > 0, "workload freed an unallocated block (generator bug)");
-    programs_[t].push_back(
-        Event::freeOf(addr, static_cast<std::uint16_t>(size)));
+    Event e = Event::freeOf(addr, static_cast<std::uint16_t>(size));
+    e.site = site_;
+    programs_[t].push_back(e);
 }
 
 void
@@ -82,6 +100,7 @@ ProgramBuilder::finish(std::string name)
     w.programs = std::move(programs_);
     w.heapBase = heapBase_;
     w.heapLimit = heapBase_ + heapSize_;
+    w.sites = std::move(sites_);
     return w;
 }
 

@@ -27,6 +27,7 @@
 
 #include "common/heap.hpp"
 #include "common/rng.hpp"
+#include "staticpass/site_table.hpp"
 #include "trace/event.hpp"
 
 namespace bfly {
@@ -63,6 +64,10 @@ struct Workload
     std::vector<std::vector<Event>> programs;
     Addr heapBase = 0;
     Addr heapLimit = 0;
+    /** Emitting sites the generator declared via beginSite; every event
+     *  carries the id of the site that emitted it (kNoSite if none was
+     *  active). Input to the static elision pass (src/staticpass/). */
+    staticpass::SiteTable sites;
 
     std::size_t
     totalEvents() const
@@ -84,6 +89,15 @@ class ProgramBuilder
   public:
     ProgramBuilder(const WorkloadConfig &config, Addr heap_base,
                    std::size_t heap_size);
+
+    /**
+     * Declare the emitting site for everything emitted next, until the
+     * next beginSite. Site names are one per static kernel location
+     * ("ocean/interior-sweep"), shared by all threads executing it —
+     * the classification pass reasons about the location, not the
+     * thread. Returns the interned id for tests.
+     */
+    staticpass::SiteId beginSite(const std::string &name);
 
     void read(ThreadId t, Addr addr, std::uint16_t size = 8);
     void write(ThreadId t, Addr addr, std::uint16_t size = 8);
@@ -120,6 +134,8 @@ class ProgramBuilder
     Addr heapBase_;
     std::size_t heapSize_;
     std::vector<std::vector<Event>> programs_;
+    staticpass::SiteTable sites_;
+    staticpass::SiteId site_ = staticpass::kNoSite;
 };
 
 /** Workload generators (one per paper benchmark). */

@@ -182,6 +182,65 @@ TEST(DifferentialRunner, InjectedAllModesBugBecomesFalseNegative)
     EXPECT_TRUE(saw);
 }
 
+TEST(DifferentialRunner, ElisionAxisIsCleanOnFuzzedCases)
+{
+    // The opt-in elision axis re-runs the sequential lifeguards on an
+    // elided copy of every trace and requires the full-trace oracle to
+    // stay subsumed. On the adversarial generators almost nothing is
+    // provably private (shared slots, taint ops), so the proof here is
+    // zero violations, not a high elision rate.
+    FuzzerConfig cfg;
+    cfg.seed = 777;
+    TraceFuzzer fuzzer(cfg);
+    RunnerConfig rcfg;
+    rcfg.checkElision = true;
+    const DifferentialRunner runner(rcfg);
+    for (int i = 0; i < 30; ++i) {
+        const FuzzCase c = fuzzer.next();
+        const CaseOutcome outcome = runner.run(c);
+        ASSERT_TRUE(outcome.clean())
+            << c.scenario << " case " << c.caseId << ": "
+            << outcome.violations.front().toString();
+        EXPECT_LE(outcome.summaryEvents, outcome.elidedEvents);
+    }
+}
+
+TEST(DifferentialRunner, ElisionAxisStaysCleanOnErrorHeavyCase)
+{
+    // A case with real oracle errors: eliding must not hide any of
+    // them (the rogue accesses are shared/unallocated, so they are
+    // never candidates).
+    RunnerConfig rcfg;
+    rcfg.checkElision = true;
+    const DifferentialRunner runner(rcfg);
+    const CaseOutcome outcome = runner.run(rogueCase(16));
+    ASSERT_TRUE(outcome.clean());
+    EXPECT_GE(outcome.oracleErrors, 3u);
+}
+
+TEST(DifferentialRunner, InjectedSequentialDropSurfacesElisionViolation)
+{
+    // Drop UnallocatedAccess records from the sequential ADDRCHECK run
+    // in every mode: the elided re-run then misses oracle errors and
+    // the ElisionSoundness invariant must fire.
+    RunnerConfig rcfg;
+    rcfg.checkElision = true;
+    rcfg.fault.enabled = true;
+    rcfg.fault.target = Lifeguard::AddrCheck;
+    rcfg.fault.dropKind = ErrorKind::UnallocatedAccess;
+    rcfg.fault.modeMask = kAllModesMask;
+    const DifferentialRunner runner(rcfg);
+
+    const CaseOutcome outcome = runner.run(rogueCase(16));
+    ASSERT_FALSE(outcome.clean());
+    bool saw = false;
+    for (const Violation &v : outcome.violations)
+        saw = saw || (v.invariant == Invariant::ElisionSoundness &&
+                      v.lifeguard == Lifeguard::AddrCheck &&
+                      v.mode == RunMode::Sequential);
+    EXPECT_TRUE(saw) << outcome.violations.front().toString();
+}
+
 TEST(TraceMinimizer, ShrinksInjectedBugToSmallRepro)
 {
     RunnerConfig cfg;

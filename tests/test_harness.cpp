@@ -74,6 +74,33 @@ TEST(Session, LargerEpochsAmortizeButterflyOverheadForCleanWorkloads)
               small.perf.butterfly.normalized);
 }
 
+TEST(Session, ElideModeKeepsZeroFalseNegativesAndShrinksTheLog)
+{
+    SessionConfig cfg = baseConfig(makeOcean, 4);
+    cfg.elide = true;
+    const SessionResult r = runSession(cfg);
+    // Zero-FN is the elision soundness contract; the oracle runs on
+    // the *full* trace, so any event elision mistake shows up here.
+    EXPECT_EQ(r.accuracy.falseNegatives, 0u);
+    EXPECT_NE(r.planFingerprint, 0u);
+    // OCEAN is the ADDRCHECK stress workload the paper reproduction
+    // gates on: the bulk of its accesses are provably private.
+    EXPECT_GE(r.elision.elidedFraction(), 0.30);
+    EXPECT_EQ(r.elision.inputEvents,
+              r.elision.retainedEvents + r.elision.elidedEvents);
+    EXPECT_GT(r.elision.summaryEvents, 0u);
+    EXPECT_LT(r.encodedBytesMonitored, r.encodedBytesFull);
+}
+
+TEST(Session, ElideModeOffLeavesElisionFieldsZero)
+{
+    const SessionResult r = runSession(baseConfig(makeFft, 2));
+    EXPECT_EQ(r.planFingerprint, 0u);
+    EXPECT_EQ(r.elision.elidedEvents, 0u);
+    EXPECT_EQ(r.encodedBytesFull, 0u);
+    EXPECT_EQ(r.encodedBytesMonitored, 0u);
+}
+
 TEST(Session, ParallelPassesProduceSameAccuracy)
 {
     SessionConfig cfg = baseConfig(makeBarnes, 4);

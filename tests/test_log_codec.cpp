@@ -340,6 +340,159 @@ TEST(LogCodec, BitFlippedLogsNeverAssert)
     }
 }
 
+// ---------------------------------------------------------------------
+// SiteSummary frames (static elision). These mirror the hostile-input
+// coverage above: a summary's payload is attacker-controlled varints,
+// so every malformed shape must come back Corrupt (or NeedMore for a
+// clean truncation), never assert, and never produce an event with an
+// out-of-range site id or count.
+
+namespace {
+
+/** The summary opcode byte: kind nibble, no size flag, no sources. */
+constexpr std::uint8_t kSummaryOpcode =
+    static_cast<std::uint8_t>(EventKind::SiteSummary);
+
+void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::vector<std::uint8_t>
+rawSummary(std::uint8_t opcode, std::uint64_t site, std::uint64_t count)
+{
+    std::vector<std::uint8_t> bytes{opcode};
+    putVarint(bytes, site);
+    putVarint(bytes, count);
+    return bytes;
+}
+
+DecodeStatus
+decodeOne(std::span<const std::uint8_t> bytes, Event &out)
+{
+    LogDecoder dec(bytes);
+    return dec.tryDecode(out);
+}
+
+} // namespace
+
+TEST(LogCodec, SiteSummaryRoundTripsExactly)
+{
+    const std::vector<Event> events = {
+        Event::read(0x1000, 8),
+        Event::siteSummary(7, 12345),
+        Event::write(0x1008, 8),
+        Event::siteSummary(0xFFFFFFFFu, (1ull << 48) - 1),
+        Event::siteSummary(1, 1),
+    };
+    const auto decoded = decodeEvents(encodeEvents(events));
+    ASSERT_EQ(decoded.size(), events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(decoded[i].kind, events[i].kind) << "event " << i;
+        if (events[i].kind == EventKind::SiteSummary) {
+            EXPECT_EQ(decoded[i].site, events[i].site);
+            EXPECT_EQ(decoded[i].summaryCount(),
+                      events[i].summaryCount());
+        }
+    }
+}
+
+TEST(LogCodec, SiteSummaryTruncatedVarintsReportNeedMore)
+{
+    // Chop a valid summary at every byte: a truncation mid-varint is an
+    // incomplete event, not a corrupt one, so streaming decoders can
+    // wait for the rest of the frame.
+    const std::vector<std::uint8_t> bytes =
+        rawSummary(kSummaryOpcode, 0xFFFFFFFFu, (1ull << 48) - 1);
+    ASSERT_GT(bytes.size(), 2u);
+    for (std::size_t cut = 1; cut < bytes.size(); ++cut) {
+        Event e;
+        EXPECT_EQ(decodeOne({bytes.data(), cut}, e),
+                  DecodeStatus::NeedMore)
+            << "cut at " << cut;
+    }
+    Event e;
+    EXPECT_EQ(decodeOne(bytes, e), DecodeStatus::Ok);
+    EXPECT_EQ(e.site, 0xFFFFFFFFu);
+    EXPECT_EQ(e.summaryCount(), (1ull << 48) - 1);
+}
+
+TEST(LogCodec, SiteSummarySiteIdBeyond32BitsIsCorrupt)
+{
+    Event e;
+    EXPECT_EQ(decodeOne(rawSummary(kSummaryOpcode, 1ull << 32, 1), e),
+              DecodeStatus::Corrupt);
+    EXPECT_EQ(decodeOne(rawSummary(kSummaryOpcode, ~0ull, 1), e),
+              DecodeStatus::Corrupt);
+}
+
+TEST(LogCodec, SiteSummaryZeroOrOverflowingCountIsCorrupt)
+{
+    Event e;
+    // A summary standing for zero events is meaningless on a valid
+    // stream; a count past 2^48-1 can overflow event accounting.
+    EXPECT_EQ(decodeOne(rawSummary(kSummaryOpcode, 5, 0), e),
+              DecodeStatus::Corrupt);
+    EXPECT_EQ(decodeOne(rawSummary(kSummaryOpcode, 5, 1ull << 48), e),
+              DecodeStatus::Corrupt);
+    EXPECT_EQ(decodeOne(rawSummary(kSummaryOpcode, 5, ~0ull), e),
+              DecodeStatus::Corrupt);
+}
+
+TEST(LogCodec, SiteSummaryReservedOpcodeBitsAreCorrupt)
+{
+    // The encoder never sets the size flag or a source count on a
+    // summary; a decoder seeing either is looking at a forged opcode.
+    Event e;
+    EXPECT_EQ(decodeOne(rawSummary(kSummaryOpcode | 0x10, 5, 1), e),
+              DecodeStatus::Corrupt); // size-follows flag
+    EXPECT_EQ(decodeOne(rawSummary(kSummaryOpcode | (1u << 5), 5, 1), e),
+              DecodeStatus::Corrupt); // nsrc = 1
+    EXPECT_EQ(decodeOne(rawSummary(kSummaryOpcode | (2u << 5), 5, 1), e),
+              DecodeStatus::Corrupt); // nsrc = 2
+}
+
+TEST(LogCodec, SiteSummaryEncoderRejectsOutOfRangeCounts)
+{
+    LogEncoder enc;
+    EXPECT_DEATH(enc.encode(Event::siteSummary(1, 0)),
+                 "site summary count out of range");
+    EXPECT_DEATH(enc.encode(Event::siteSummary(1, 1ull << 48)),
+                 "site summary count out of range");
+}
+
+TEST(LogCodec, SiteSummaryChunkedDecodeSurvivesByteSplits)
+{
+    // A summary split one byte per chunk across frames must reassemble
+    // exactly (the wire path: LogChunk frames can cut anywhere).
+    const std::vector<Event> events = {
+        Event::read(0x4000, 8),
+        Event::siteSummary(321, 1000000),
+        Event::write(0x4008, 8),
+    };
+    const auto bytes = encodeEvents(events);
+    ChunkedLogDecoder dec;
+    std::vector<Event> decoded;
+    for (const std::uint8_t b : bytes) {
+        dec.feed({&b, 1});
+        for (;;) {
+            Event e;
+            if (dec.next(e) != DecodeStatus::Ok)
+                break;
+            decoded.push_back(e);
+        }
+    }
+    ASSERT_EQ(decoded.size(), events.size());
+    EXPECT_EQ(decoded[1].kind, EventKind::SiteSummary);
+    EXPECT_EQ(decoded[1].site, 321u);
+    EXPECT_EQ(decoded[1].summaryCount(), 1000000u);
+}
+
 TEST(LogCodec, LoadRejectsGarbage)
 {
     const std::string path = ::testing::TempDir() + "bfly_garbage.log";

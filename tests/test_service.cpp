@@ -26,6 +26,7 @@
 
 #include "fuzz/trace_fuzzer.hpp"
 #include "service/client.hpp"
+#include "staticpass/classify.hpp"
 #include "service/server.hpp"
 #include "service/session_mux.hpp"
 #include "service/wire.hpp"
@@ -190,6 +191,7 @@ TEST(Wire, PayloadsRoundTrip)
     spec.heapLimit = 0x90000;
     spec.globalH = 96;
     spec.windowEpochs = 6;
+    spec.planFingerprint = 0x5157a71c00e11de5ull; // v4
     SessionSpec spec2;
     ASSERT_EQ(decodeSessionOpen(encodeSessionOpen(spec), spec2),
               DecodeStatus::Ok);
@@ -201,6 +203,7 @@ TEST(Wire, PayloadsRoundTrip)
     EXPECT_EQ(spec2.heapLimit, spec.heapLimit);
     EXPECT_EQ(spec2.globalH, spec.globalH);
     EXPECT_EQ(spec2.windowEpochs, spec.windowEpochs);
+    EXPECT_EQ(spec2.planFingerprint, spec.planFingerprint);
 
     const std::vector<std::uint8_t> log = {1, 2, 3, 4, 5};
     ChunkHeader header{42, 3}, header2;
@@ -254,6 +257,8 @@ TEST(Wire, PayloadsRoundTrip)
     summary.busyCount = 3;
     summary.peakResidentEpochs = 4;
     summary.fingerprint = 0xabcdef0123456789ull;
+    summary.planFingerprint = 0x5157a71c00e11de5ull; // v4 echo
+    summary.summaryEvents = 4242;                    // v4
     SummaryInfo summary2;
     ASSERT_EQ(decodeSummary(encodeSummary(summary), summary2),
               DecodeStatus::Ok);
@@ -265,6 +270,8 @@ TEST(Wire, PayloadsRoundTrip)
     EXPECT_EQ(summary2.busyCount, summary.busyCount);
     EXPECT_EQ(summary2.peakResidentEpochs, summary.peakResidentEpochs);
     EXPECT_EQ(summary2.fingerprint, summary.fingerprint);
+    EXPECT_EQ(summary2.planFingerprint, summary.planFingerprint);
+    EXPECT_EQ(summary2.summaryEvents, summary.summaryEvents);
 
     std::uint64_t seq = 0;
     ASSERT_EQ(decodeTraceEnd(encodeTraceEnd(31337), seq),
@@ -343,6 +350,37 @@ TEST(Wire, DecodersRejectTruncationAndTrailingGarbage)
     auto versioned = payload;
     versioned[0] = kWireVersion + 1; // version is the first byte
     EXPECT_EQ(decodeSessionOpen(versioned, out), DecodeStatus::Corrupt);
+
+    // v3 frames lack the v4 planFingerprint tail; both ends must move
+    // together, so the old version byte is rejected outright.
+    versioned[0] = 3;
+    EXPECT_EQ(decodeSessionOpen(versioned, out), DecodeStatus::Corrupt);
+}
+
+TEST(Wire, SummaryRejectsTruncationAndTrailingGarbage)
+{
+    // The Summary frame grew the v4 tail (plan fingerprint echo +
+    // summary-event count); every proper prefix — including cuts inside
+    // the new fields — must fail cleanly, as must trailing bytes.
+    SummaryInfo info;
+    info.status = SummaryStatus::Complete;
+    info.epochs = 3;
+    info.events = 999;
+    info.fingerprint = 0x1111222233334444ull;
+    info.planFingerprint = 0x5555666677778888ull;
+    info.summaryEvents = 1234;
+    const auto payload = encodeSummary(info);
+    SummaryInfo out;
+    for (std::size_t cut = 0; cut < payload.size(); ++cut)
+        EXPECT_NE(decodeSummary({payload.data(), cut}, out),
+                  DecodeStatus::Ok)
+            << "truncated at " << cut;
+    auto padded = payload;
+    padded.push_back(0);
+    EXPECT_EQ(decodeSummary(padded, out), DecodeStatus::Corrupt);
+    ASSERT_EQ(decodeSummary(payload, out), DecodeStatus::Ok);
+    EXPECT_EQ(out.planFingerprint, info.planFingerprint);
+    EXPECT_EQ(out.summaryEvents, info.summaryEvents);
 }
 
 // ------------------------------------------------------------------- mux
@@ -644,6 +682,76 @@ TEST(MonitorService, LoopbackConformanceAcrossLifeguards)
     server.stop();
     EXPECT_EQ(server.sessionsFailed(), 0u);
     EXPECT_EQ(server.sessionsCompleted(), 24u);
+}
+
+TEST(MonitorService, ElidedSessionEchoesPlanFingerprintAndCounts)
+{
+    // v4 end to end: a client that ran the static elision pre-pass
+    // declares its plan fingerprint in SessionOpen and streams a log
+    // containing SiteSummary events. The server must analyze the
+    // summarized log identically to the local reference, echo the
+    // fingerprint in the Summary frame, and account the summaries it
+    // decoded.
+    ServerConfig scfg;
+    scfg.unixPath = tempSocketPath("elide");
+    scfg.workers = 2;
+    MonitorServer server(scfg);
+    ASSERT_TRUE(server.start());
+
+    // Two threads, each with a private alloc-covered block: every
+    // read/write is provably invisible to the lifeguards and elides.
+    Trace trace;
+    trace.threads.resize(2);
+    std::uint64_t g = 0;
+    auto push = [&](std::size_t t, Event e) {
+        e.gseq = ++g;
+        trace.threads[t].tid = static_cast<ThreadId>(t);
+        trace.threads[t].events.push_back(e);
+    };
+    for (std::size_t t = 0; t < 2; ++t) {
+        const Addr base = 0x10000 + 0x10000 * t;
+        push(t, Event::alloc(base, 64));
+        for (int i = 0; i < 8; ++i)
+            push(t, Event::write(base + 8 * i, 8));
+        for (int i = 0; i < 8; ++i)
+            push(t, Event::read(base + 8 * i, 8));
+    }
+
+    staticpass::SiteTable sites;
+    const staticpass::ElisionPlan plan =
+        staticpass::buildElisionPlan(trace, sites);
+    staticpass::ElisionStats stats;
+    const Trace elided = staticpass::applyElisionPlan(trace, plan,
+                                                      &stats);
+    ASSERT_EQ(stats.elidedEvents, 32u); // all 16 R + 16 W per program
+    ASSERT_GT(stats.summaryEvents, 0u);
+    ASSERT_NE(plan.fingerprint(), 0u);
+
+    const EpochLayout layout = EpochLayout::byGlobalSeq(elided, 16);
+    SessionSpec spec;
+    spec.lifeguard = 0; // ADDRCHECK
+    spec.numThreads = 2;
+    spec.granularity = 8;
+    spec.heapBase = 0x10000;
+    spec.heapLimit = 0x30000;
+    spec.planFingerprint = plan.fingerprint();
+
+    const RemoteReport local = analyzeReference(spec, elided, layout);
+    const Trace marked = withHeartbeatMarkers(elided, layout);
+
+    MonitorClient client;
+    ASSERT_TRUE(client.connectUnix(scfg.unixPath));
+    const RunResult remote = client.run(spec, marked);
+    ASSERT_TRUE(remote.ok) << remote.error;
+    EXPECT_TRUE(remote.report.identical(local));
+    EXPECT_GT(remote.logBytesSent, 0u);
+    EXPECT_EQ(remote.summary.planFingerprint, plan.fingerprint());
+    EXPECT_EQ(remote.summary.summaryEvents, stats.summaryEvents);
+
+    server.stop();
+    EXPECT_EQ(server.sessionsCompleted(), 1u);
+    EXPECT_EQ(server.elisionSessions(), 1u);
+    EXPECT_EQ(server.summaryEventsSeen(), stats.summaryEvents);
 }
 
 TEST(MonitorService, ConcurrentSessionsConform)
